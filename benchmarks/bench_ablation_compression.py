@@ -1,0 +1,61 @@
+"""Ablation: point compression on HVE ciphertexts (size vs CPU).
+
+Compression halves the dominant P3S wire cost (P_E, broadcast to every
+subscriber) at the price of one modular square root per point on
+deserialization.  The paper's 2Vk size estimate assumes compressed
+elements; this bench measures both sides of the trade on the Table 1
+metadata shape.
+"""
+
+import pytest
+
+from repro.crypto.group import PairingGroup
+from repro.pbe.hve import HVE
+from repro.pbe.serialize import deserialize_hve_ciphertext, serialize_hve_ciphertext
+
+GROUP = PairingGroup("TOY")
+N = 40  # Table 1 metadata vector
+GUID = b"guid-0123456789ab"
+
+
+@pytest.fixture(scope="module")
+def setting():
+    hve = HVE(GROUP)
+    public, master = hve.setup(N)
+    ciphertext = hve.encrypt(public, [i % 2 for i in range(N)], GUID)
+    return hve, ciphertext
+
+
+def test_serialize_uncompressed(setting, benchmark):
+    _, ciphertext = setting
+    benchmark(lambda: serialize_hve_ciphertext(GROUP, ciphertext))
+
+
+def test_serialize_compressed(setting, benchmark):
+    _, ciphertext = setting
+    benchmark(lambda: serialize_hve_ciphertext(GROUP, ciphertext, compressed=True))
+
+
+def test_deserialize_uncompressed(setting, benchmark):
+    _, ciphertext = setting
+    blob = serialize_hve_ciphertext(GROUP, ciphertext)
+    benchmark(lambda: deserialize_hve_ciphertext(GROUP, blob))
+
+
+def test_deserialize_compressed(setting, benchmark):
+    """Pays one square root per point — the CPU side of the trade."""
+    _, ciphertext = setting
+    blob = serialize_hve_ciphertext(GROUP, ciphertext, compressed=True)
+    benchmark(lambda: deserialize_hve_ciphertext(GROUP, blob))
+
+
+def test_size_report(setting, capsys):
+    _, ciphertext = setting
+    plain = len(serialize_hve_ciphertext(GROUP, ciphertext))
+    packed = len(serialize_hve_ciphertext(GROUP, ciphertext, compressed=True))
+    with capsys.disabled():
+        print(
+            f"\ncompression ablation (n={N}): P_E uncompressed={plain} B, "
+            f"compressed={packed} B ({plain / packed:.2f}× smaller)"
+        )
+    assert packed < plain * 0.6

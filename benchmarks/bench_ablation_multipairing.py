@@ -1,0 +1,62 @@
+"""Ablation: shared-final-exponentiation multi-pairing vs naive products.
+
+HVE matching evaluates a product of 2·|non-wildcard| pairings.  The
+multi-pairing shares the accumulator squaring and the final
+exponentiation across all pairs (DESIGN.md §5); this bench quantifies the
+speedup on exactly the pairing workload of one 20-position match.
+"""
+
+import pytest
+
+from repro.crypto.group import PairingGroup
+from repro.crypto.pairing import multi_pairing, tate_pairing
+
+PAIR_COUNT = 40  # 2 pairings × 20 non-wildcard positions
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    group = PairingGroup("TOY")
+    return group, [(group.random_g1(), group.random_g1()) for _ in range(PAIR_COUNT)]
+
+
+def naive_product(group, pairs):
+    result = group.gt_identity()
+    for p, q in pairs:
+        result = result * tate_pairing(p, q)
+    return result
+
+
+def shared_product(group, pairs):
+    return multi_pairing(pairs, group.params)
+
+
+def test_naive_pairing_product(pairs, benchmark):
+    group, pair_list = pairs
+    benchmark(naive_product, group, pair_list)
+
+
+def test_multi_pairing_product(pairs, benchmark):
+    group, pair_list = pairs
+    benchmark(shared_product, group, pair_list)
+
+
+def test_equivalence_and_speedup(pairs, capsys):
+    """The two evaluations agree; the shared version must win."""
+    import time
+
+    group, pair_list = pairs
+    assert naive_product(group, pair_list) == shared_product(group, pair_list)
+
+    start = time.perf_counter()
+    naive_product(group, pair_list)
+    naive_s = time.perf_counter() - start
+    start = time.perf_counter()
+    shared_product(group, pair_list)
+    shared_s = time.perf_counter() - start
+    with capsys.disabled():
+        print(
+            f"\nmulti-pairing ablation ({PAIR_COUNT} pairs): naive={naive_s*1e3:.1f} ms, "
+            f"shared={shared_s*1e3:.1f} ms, speedup={naive_s/shared_s:.2f}×"
+        )
+    assert shared_s < naive_s

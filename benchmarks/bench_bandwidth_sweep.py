@@ -1,0 +1,78 @@
+"""Bandwidth sweep — §6.2's companion observation to Figs. 8-10.
+
+The abstract promises evaluation "over various message sizes and network
+bandwidth settings", and §6.2 states: "increasing the network bandwidth
+from 10 to 100 Mbps helps both systems equally".  This bench sweeps ℬ and
+checks that (a) absolute latency and throughput improve with bandwidth
+for both systems, and (b) the P3S/baseline ratios are invariant in every
+bandwidth-bound regime.
+"""
+
+from repro.perf.latency import baseline_latency, latency_ratio, p3s_latency
+from repro.perf.params import PAPER_PARAMS
+from repro.perf.report import format_seconds, format_table
+from repro.perf.throughput import throughput_ratio
+
+BANDWIDTHS = [5_000_000, 10_000_000, 50_000_000, 100_000_000]
+SIZES = [10_000, 1_000_000]
+
+
+def _sweep():
+    rows = []
+    for bandwidth in BANDWIDTHS:
+        params = PAPER_PARAMS.with_(
+            bandwidth_bps=bandwidth, lan_bandwidth_bps=10 * bandwidth
+        )
+        for size in SIZES:
+            rows.append(
+                (
+                    bandwidth,
+                    size,
+                    baseline_latency(size, params).total,
+                    p3s_latency(size, params).total,
+                    latency_ratio(size, params),
+                    throughput_ratio(size, params),
+                )
+            )
+    return rows
+
+
+def test_bandwidth_sweep(benchmark, capsys):
+    rows = benchmark(_sweep)
+    table = [
+        [
+            f"{bw // 1_000_000} Mbps",
+            f"{size // 1000} KB",
+            format_seconds(base),
+            format_seconds(p3s),
+            f"{lat_ratio:.2f}",
+            f"{thr_ratio:.3f}",
+        ]
+        for bw, size, base, p3s, lat_ratio, thr_ratio in rows
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["ℬ", "payload", "base lat", "P3S lat", "lat ratio", "thr ratio"],
+                table,
+                title="Bandwidth sweep (latency + throughput ratios)",
+            )
+        )
+
+    # (a) more bandwidth → faster, for both systems, at every size
+    for size_index in range(len(SIZES)):
+        series = [row for row in rows if row[1] == SIZES[size_index]]
+        base_latencies = [row[2] for row in series]
+        p3s_latencies = [row[3] for row in series]
+        assert base_latencies == sorted(base_latencies, reverse=True)
+        assert p3s_latencies == sorted(p3s_latencies, reverse=True)
+
+    # (b) "helps both systems equally": the throughput ratio at any given
+    # payload size is bandwidth-invariant
+    for size in SIZES:
+        ratios = [row[5] for row in rows if row[1] == size]
+        assert max(ratios) - min(ratios) < 1e-9
+
+    # the latency ratio stays within the 10× target across the sweep
+    assert all(row[4] < 10.0 for row in rows)

@@ -1,0 +1,57 @@
+"""Extension: hierarchical dissemination (paper §6.2's proposed fix).
+
+"P3S performs worse than the baseline for small payloads.  This issue can
+be addressed by reconfiguring the P3S architecture to use hierarchical
+dissemination."  The model moves the metadata fan-out from a flat
+N_s-wide DS broadcast onto a k-ary relay tree; the per-node egress cost
+drops from P_E·N_s to P_E·k.
+"""
+
+from repro.perf.params import MESSAGE_SIZES, PAPER_PARAMS
+from repro.perf.report import series_table
+from repro.perf.throughput import p3s_throughput, throughput_ratio
+
+
+def _ratios(relay_fanout):
+    return [
+        throughput_ratio(m, PAPER_PARAMS, relay_fanout=relay_fanout) for m in MESSAGE_SIZES
+    ]
+
+
+def test_hierarchical_dissemination(benchmark, capsys):
+    flat, tree4, tree10 = benchmark(
+        lambda: (_ratios(None), _ratios(4), _ratios(10))
+    )
+    with capsys.disabled():
+        print()
+        print(
+            series_table(
+                MESSAGE_SIZES,
+                {"flat(b)": flat, "k=4": tree4, "k=10": tree10},
+                formatters={"flat(b)": ".3f", "k=4": ".3f", "k=10": ".3f"},
+                title="Extension — throughput ratio with hierarchical dissemination, f = 5%",
+            )
+        )
+
+    # relays strictly help in the broadcast-bound (small payload) regime;
+    # a lower fanout loads each node less, so k=4 beats k=10 beats flat
+    assert tree4[0] > tree10[0] > flat[0]
+    # with k=10 relays the 10KB point reaches parity-like territory
+    assert tree10[2] > 0.4
+    # and the large-payload regime is unaffected (RS-egress bound)
+    assert abs(tree10[-1] - flat[-1]) < 1e-9
+
+
+def test_bottleneck_shifts_with_fanout(benchmark, capsys):
+    def bottlenecks():
+        return {
+            k: p3s_throughput(1_000, PAPER_PARAMS, relay_fanout=k).bottleneck
+            for k in (2, 10, 50, None)
+        }
+
+    result = benchmark(bottlenecks)
+    with capsys.disabled():
+        print(f"\nbottleneck by fanout at m=1KB: {result}")
+    # with a small enough fanout the broadcast stops being the bottleneck
+    assert result[2] != "r1_ds_broadcast"
+    assert result[None] == "r1_ds_broadcast"

@@ -1,0 +1,48 @@
+"""Fig. 10 — throughput at f = 50%: the match-rate crossover.
+
+"Increasing the match rate benefits P3S.  The baseline only disseminates
+to subscribers who match, whereas P3S must disseminate to all of them,
+and if more subscribers match, the baseline loses its advantage."
+"""
+
+from repro.perf.params import MESSAGE_SIZES, PAPER_PARAMS
+from repro.perf.report import format_rate, series_table
+from repro.perf.throughput import baseline_throughput, p3s_throughput, throughput_ratio
+
+F50 = PAPER_PARAMS.with_(match_fraction=0.5)
+
+
+def _series(params):
+    base = [baseline_throughput(m, params).total for m in MESSAGE_SIZES]
+    p3s = [p3s_throughput(m, params).total for m in MESSAGE_SIZES]
+    ratio = [throughput_ratio(m, params) for m in MESSAGE_SIZES]
+    return base, p3s, ratio
+
+
+def test_fig10_throughput_f50(benchmark, capsys):
+    base, p3s, ratio = benchmark(_series, F50)
+    _, _, ratio_f5 = _series(PAPER_PARAMS)
+    with capsys.disabled():
+        print()
+        print(
+            series_table(
+                MESSAGE_SIZES,
+                {"baseline": base, "P3S": p3s, "ratio(b)": ratio, "ratio@f=5%": ratio_f5},
+                formatters={
+                    "baseline": format_rate,
+                    "P3S": format_rate,
+                    "ratio(b)": ".3f",
+                    "ratio@f=5%": ".3f",
+                },
+                title="Fig. 10 — throughput, f = 50% (vs Fig. 9's f = 5%)",
+            )
+        )
+
+    # at every size, f=50% treats P3S at least as well as f=5%
+    assert all(r50 >= r5 - 1e-12 for r50, r5 in zip(ratio, ratio_f5))
+    # near-parity arrives an order of magnitude earlier in payload size
+    first_parity_f50 = next(m for m, r in zip(MESSAGE_SIZES, ratio) if r > 0.9)
+    first_parity_f5 = next(m for m, r in zip(MESSAGE_SIZES, ratio_f5) if r > 0.9)
+    assert first_parity_f50 <= first_parity_f5 / 5
+    # combined conclusion: P3S within 10x except small payloads + low match rate
+    assert all(r > 0.1 for m, r in zip(MESSAGE_SIZES, ratio) if m >= 10_000)

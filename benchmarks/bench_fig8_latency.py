@@ -1,0 +1,65 @@
+"""Fig. 8 — end-to-end latency over payload size (a) and relative to baseline (b).
+
+Reproduces both panels for ℬ = 10 Mbps: the absolute latency series for
+the baseline and P3S, and the P3S/baseline ratio against the 10× target.
+Shape assertions encode the paper's claims; absolute values use Table 1
+constants (swap in measured constants with the ``calibrated`` variant).
+"""
+
+from repro.perf.latency import baseline_latency, latency_ratio, p3s_latency
+from repro.perf.params import MESSAGE_SIZES, PAPER_PARAMS
+from repro.perf.report import format_seconds, series_table
+
+
+def _series(params):
+    base = [baseline_latency(m, params).total for m in MESSAGE_SIZES]
+    p3s = [p3s_latency(m, params).total for m in MESSAGE_SIZES]
+    ratio = [latency_ratio(m, params) for m in MESSAGE_SIZES]
+    return base, p3s, ratio
+
+
+def test_fig8_latency_series(benchmark, capsys):
+    base, p3s, ratio = benchmark(_series, PAPER_PARAMS)
+    with capsys.disabled():
+        print()
+        print(
+            series_table(
+                MESSAGE_SIZES,
+                {
+                    "baseline": base,
+                    "P3S": p3s,
+                    "ratio(b)": ratio,
+                },
+                formatters={"baseline": format_seconds, "P3S": format_seconds, "ratio(b)": ".2f"},
+                title="Fig. 8 — end-to-end latency, ℬ = 10 Mbps (paper parameters)",
+            )
+        )
+
+    # paper claim: baseline has low latency for small payloads
+    assert base[0] < p3s[0]
+    # paper claim: P3S follows the baseline for large payloads
+    assert abs(ratio[-1] - 1.0) < 0.1
+    # paper claim: P3S exhibits a threshold for small payloads (flat region)
+    assert abs(p3s[0] - p3s[1]) / p3s[0] < 0.05
+    # §2 target: within 10× everywhere on this sweep
+    assert max(ratio) < 10.0
+
+
+def test_fig8_with_measured_constants(bench_calibration, benchmark, capsys):
+    """Same figure with OUR measured crypto constants substituted."""
+    params = bench_calibration.as_model_params(PAPER_PARAMS)
+    base, p3s, ratio = benchmark(_series, params)
+    with capsys.disabled():
+        print()
+        print(
+            series_table(
+                MESSAGE_SIZES,
+                {"baseline": base, "P3S": p3s, "ratio(b)": ratio},
+                formatters={"baseline": format_seconds, "P3S": format_seconds, "ratio(b)": ".2f"},
+                title=f"Fig. 8 — with constants measured at {bench_calibration.param_set}",
+            )
+        )
+    # the qualitative shape must survive recalibration
+    assert base[0] < p3s[0]
+    assert abs(ratio[-1] - 1.0) < 0.1
+    assert max(ratio) < 10.0

@@ -1,0 +1,90 @@
+"""Cross-validation bench: analytic models vs full protocol simulation.
+
+Not a paper figure, but the strongest internal-consistency evidence this
+reproduction offers: the §6.2 models and a *running deployment* (real
+ciphertexts, simulated network) are evaluated at the same operating
+points and must agree within a band — the models are deliberately
+worst-case, so the simulation comes in at or below them.
+"""
+
+import pytest
+
+from repro.crypto.group import PairingGroup
+from repro.pbe.serialize import hve_ciphertext_size
+from repro.perf.latency import baseline_latency, p3s_latency
+from repro.perf.params import ModelParams
+from repro.perf.report import format_seconds, format_table
+from repro.perf.validation import (
+    simulate_baseline_latency,
+    simulate_p3s_latency,
+    simulate_p3s_throughput,
+)
+
+SIZES = [1_000, 100_000, 1_000_000]
+
+
+def small_model() -> ModelParams:
+    group = PairingGroup("TOY")
+    return ModelParams(
+        num_subscribers=10,
+        match_fraction=0.2,
+        broker_threads=1,
+        encrypted_metadata_bytes=hve_ciphertext_size(group, 3, 16),
+    )
+
+
+def test_latency_model_vs_simulation(benchmark, capsys):
+    params = small_model()
+
+    def run_all():
+        rows = []
+        for size in SIZES:
+            model_b = baseline_latency(size, params).total
+            sim_b = simulate_baseline_latency(size, params, 10, 2).value
+            model_p = p3s_latency(size, params).total
+            sim_p = simulate_p3s_latency(size, params, 10, 2).value
+            rows.append((size, model_b, sim_b, model_p, sim_p))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = [
+        [
+            f"{size//1000} KB",
+            format_seconds(model_b),
+            format_seconds(sim_b),
+            format_seconds(model_p),
+            format_seconds(sim_p),
+        ]
+        for size, model_b, sim_b, model_p, sim_p in rows
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["payload", "base model", "base sim", "P3S model", "P3S sim"],
+                table,
+                title="Model vs simulation — worst-case latency (N_s=10, f=20%)",
+            )
+        )
+    for size, model_b, sim_b, model_p, sim_p in rows:
+        assert 0.3 * model_b < sim_b < 1.5 * model_b
+        assert 0.3 * model_p < sim_p < 1.5 * model_p
+
+
+def test_throughput_model_vs_simulation(benchmark, capsys):
+    from repro.perf.throughput import p3s_throughput
+
+    params = small_model()
+
+    def run():
+        model = p3s_throughput(1_000, params).total
+        simulated = simulate_p3s_throughput(1_000, params, 10, 2, num_publications=8).value
+        return model, simulated
+
+    model, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(
+            f"\nthroughput at 1KB: model={model:.2f}/s, simulated={simulated:.2f}/s "
+            f"(×{simulated / model:.2f})"
+        )
+    assert 0.3 * model < simulated < 3.0 * model

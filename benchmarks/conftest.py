@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks print the paper-style tables (run with ``-s`` to see them, or
+read EXPERIMENTS.md for a captured transcript).  Heavyweight calibration
+is session-scoped.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PARAMS`` — pairing parameter set for the crypto
+  calibration benches (default ``TOY``; set ``PAPER`` for the full-size
+  512-bit measurement — slower but directly comparable to the paper's
+  prototype constants).
+"""
+
+import os
+
+import pytest
+
+from repro.perf.calibrate import calibrate
+
+
+def param_set_name() -> str:
+    return os.environ.get("REPRO_BENCH_PARAMS", "TOY")
+
+
+@pytest.fixture(scope="session")
+def toy_calibration():
+    """Calibration at TOY with the paper's 40-bit metadata space."""
+    return calibrate("TOY", vector_bits=40, policy_attributes=10, repetitions=1)
+
+
+@pytest.fixture(scope="session")
+def bench_calibration():
+    """Calibration at the set selected by REPRO_BENCH_PARAMS."""
+    return calibrate(param_set_name(), vector_bits=40, policy_attributes=10, repetitions=1)

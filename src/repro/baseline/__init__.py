@@ -1,0 +1,13 @@
+"""The non-private centralized pub-sub baseline (paper §6.2)."""
+
+from .broker import BaselineBroker, BaselinePublication
+from .system import BaselineDelivery, BaselinePublisher, BaselineSubscriber, BaselineSystem
+
+__all__ = [
+    "BaselineBroker",
+    "BaselinePublication",
+    "BaselineSystem",
+    "BaselinePublisher",
+    "BaselineSubscriber",
+    "BaselineDelivery",
+]

@@ -1,0 +1,182 @@
+"""Command-line interface: regenerate experiments from the terminal.
+
+::
+
+    python -m repro table1              # Table 1 with measured constants
+    python -m repro fig8                # latency figure (table + ASCII plot)
+    python -m repro fig9                # throughput, f = 5%
+    python -m repro fig10               # throughput, f = 50%
+    python -m repro calibrate -p PAPER  # measure crypto constants
+    python -m repro demo                # one publication end to end
+    python -m repro attacks             # the two §6.1 token attacks, live
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .perf.calibrate import calibrate
+from .perf.latency import baseline_latency, latency_ratio, p3s_latency
+from .perf.params import MESSAGE_SIZES, PAPER_PARAMS
+from .perf.plot import ascii_plot
+from .perf.report import format_rate, format_seconds, format_size, format_table, series_table
+from .perf.throughput import baseline_throughput, p3s_throughput, throughput_ratio
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args) -> None:
+    result = calibrate(args.params, vector_bits=40, policy_attributes=10, repetitions=1)
+    rows = [
+        ["P_E (PBE-encrypted metadata)", "10 KB", format_size(result.encrypted_metadata_bytes)],
+        ["enc_P (PBE encrypt)", "≈30 ms", format_seconds(result.pbe_encrypt_s)],
+        ["t_PBE (PBE match)", "≈38 ms", format_seconds(result.pbe_match_s)],
+        ["enc_C (CP-ABE encrypt)", "≈3 ms", format_seconds(result.cpabe_encrypt_s)],
+        ["dec_C (CP-ABE decrypt)", "≈12 ms", format_seconds(result.cpabe_decrypt_s)],
+        ["pairing (1 op)", "—", format_seconds(result.pairing_s)],
+        ["token (20 positions)", "—", format_size(result.token_bytes)],
+    ]
+    print(format_table(
+        ["parameter", "paper", f"measured ({args.params})"],
+        rows,
+        title="Table 1 — measured model parameters",
+    ))
+
+
+def _cmd_fig8(args) -> None:
+    base = [baseline_latency(m, PAPER_PARAMS).total for m in MESSAGE_SIZES]
+    p3s = [p3s_latency(m, PAPER_PARAMS).total for m in MESSAGE_SIZES]
+    ratio = [latency_ratio(m, PAPER_PARAMS) for m in MESSAGE_SIZES]
+    print(series_table(
+        MESSAGE_SIZES,
+        {"baseline": base, "P3S": p3s, "ratio(b)": ratio},
+        formatters={"ratio(b)": ".2f"},
+        title="Fig. 8 — end-to-end latency, ℬ = 10 Mbps",
+    ))
+    print()
+    print(ascii_plot(
+        MESSAGE_SIZES,
+        {"baseline": base, "P3S": p3s},
+        title="Fig. 8(a)",
+        y_label="latency (s), log scale",
+    ))
+
+
+def _cmd_fig9(args, match_fraction: float = 0.05, label: str = "Fig. 9") -> None:
+    params = PAPER_PARAMS.with_(match_fraction=match_fraction)
+    base = [baseline_throughput(m, params).total for m in MESSAGE_SIZES]
+    p3s = [p3s_throughput(m, params).total for m in MESSAGE_SIZES]
+    ratio = [throughput_ratio(m, params) for m in MESSAGE_SIZES]
+    print(series_table(
+        MESSAGE_SIZES,
+        {"baseline": base, "P3S": p3s, "ratio(b)": ratio},
+        formatters={"baseline": format_rate, "P3S": format_rate, "ratio(b)": ".3f"},
+        title=f"{label} — throughput, f = {match_fraction:.0%}",
+    ))
+    print()
+    print(ascii_plot(
+        MESSAGE_SIZES,
+        {"baseline": base, "P3S": p3s},
+        title=f"{label}(a)",
+        y_label="publications/s, log scale",
+    ))
+
+
+def _cmd_fig10(args) -> None:
+    _cmd_fig9(args, match_fraction=0.5, label="Fig. 10")
+
+
+def _cmd_calibrate(args) -> None:
+    result = calibrate(
+        args.params, vector_bits=args.vector_bits, policy_attributes=10, repetitions=args.reps
+    )
+    for field_name in (
+        "pairing_s", "pbe_encrypt_s", "pbe_match_s", "pbe_token_gen_s",
+        "cpabe_encrypt_s", "cpabe_decrypt_s", "pke_op_s",
+    ):
+        print(f"{field_name:18s} {format_seconds(getattr(result, field_name))}")
+    print(f"{'P_E':18s} {format_size(result.encrypted_metadata_bytes)}")
+    print(f"{'c_A overhead':18s} {format_size(result.cpabe_overhead_bytes)}")
+
+
+def _cmd_demo(args) -> None:
+    from .core import P3SConfig, P3SSystem
+    from .pbe import ANY, AttributeSpec, Interest, MetadataSchema
+
+    schema = MetadataSchema([
+        AttributeSpec("topic", ("alpha", "beta", "gamma", "delta")),
+    ])
+    system = P3SSystem(P3SConfig(schema=schema))
+    alice = system.add_subscriber("alice", {"clearance"})
+    system.subscribe(alice, Interest({"topic": "alpha"}))
+    system.run()
+    publisher = system.add_publisher("pub")
+    system.run()
+    record = publisher.publish({"topic": "alpha"}, b"hello, private world", policy="clearance")
+    system.run()
+    (delivery,) = system.deliveries_for(record)
+    print(f"delivered {delivery.payload!r} in {delivery.delivered_at - record.submitted_at:.3f}s "
+          f"(simulated); PBE-TS saw sources {sorted(set(system.pbe_ts.observed_sources))}")
+
+
+def _cmd_attacks(args) -> None:
+    from .crypto import PairingGroup
+    from .pbe import ANY, AttributeSpec, HVE, Interest, MetadataSchema
+    from .privacy import token_accumulation_attack, token_probing_attack
+
+    group = PairingGroup("TOY")
+    schema = MetadataSchema([
+        AttributeSpec("topic", ("a", "b", "c", "d")),
+        AttributeSpec("prio", ("lo", "hi")),
+    ])
+    hve = HVE(group)
+    public, master = hve.setup(schema.vector_length)
+
+    secret = Interest({"topic": "c", "prio": ANY})
+    token = hve.gen_token(master, schema.encode_interest(secret))
+    recovered = token_probing_attack(hve, public, token, schema)
+    print(f"token-probing attack: victim interest {secret.describe()!r} "
+          f"→ recovered {recovered.describe()!r}")
+
+    accumulated = {
+        (spec.name, value): hve.gen_token(master, schema.encode_interest(Interest({spec.name: value})))
+        for spec in schema.attributes for value in spec.values
+    }
+    metadata = {"topic": "b", "prio": "hi"}
+    ciphertext = hve.encrypt(public, schema.encode_metadata(metadata), b"guid")
+    print(f"token-accumulation attack: published metadata {metadata} "
+          f"→ recovered {token_accumulation_attack(hve, accumulated, ciphertext, schema)}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="P3S reproduction — experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="Table 1 with measured constants")
+    table1.add_argument("-p", "--params", default="TOY", choices=["TOY", "TEST", "PAPER"])
+    table1.set_defaults(func=_cmd_table1)
+
+    for name, func in (("fig8", _cmd_fig8), ("fig9", _cmd_fig9), ("fig10", _cmd_fig10)):
+        fig = sub.add_parser(name, help=f"regenerate {name}")
+        fig.set_defaults(func=func)
+
+    cal = sub.add_parser("calibrate", help="measure crypto constants")
+    cal.add_argument("-p", "--params", default="TOY", choices=["TOY", "TEST", "PAPER"])
+    cal.add_argument("--vector-bits", type=int, default=40)
+    cal.add_argument("--reps", type=int, default=1)
+    cal.set_defaults(func=_cmd_calibrate)
+
+    demo = sub.add_parser("demo", help="one publication end to end")
+    demo.set_defaults(func=_cmd_demo)
+
+    attacks = sub.add_parser("attacks", help="run the §6.1 token attacks")
+    attacks.set_defaults(func=_cmd_attacks)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0

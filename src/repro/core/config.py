@@ -1,0 +1,92 @@
+"""Deployment configuration and the compute-timing model for P3S runs.
+
+Two kinds of time exist in an end-to-end run:
+
+* **network time** — computed by the simulator from byte-accurate message
+  sizes, link bandwidths and the fixed latency (Table 1);
+* **compute time** — encryption/decryption/matching costs.  Services and
+  clients advance the simulated clock by the amounts in
+  :class:`ComputeTimings` (defaults are the paper's measured prototype
+  values; :mod:`repro.perf.calibrate` can substitute values measured from
+  *our* primitives so the whole reproduction is self-consistent).
+
+The real cryptography still executes (correctness is enforced end to
+end); the timing model just decouples simulated time from the speed of
+pure-Python bignum arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..pbe.schema import AttributeSpec, MetadataSchema
+
+__all__ = ["ComputeTimings", "P3SConfig", "default_schema"]
+
+
+@dataclass(frozen=True)
+class ComputeTimings:
+    """Per-operation compute costs in seconds.
+
+    Defaults follow the paper's §6.2 prototype measurements:
+    PBE encrypt ≈ 30 ms, PBE match ≈ 38 ms, CP-ABE decrypt ≈ 12 ms,
+    CP-ABE encrypt "fairly fast" (≈ 3 ms), baseline per-subscription
+    match ≈ 0.05 ms.
+    """
+
+    pbe_encrypt: float = 0.030
+    pbe_match: float = 0.038
+    pbe_token_gen: float = 0.030
+    cpabe_encrypt: float = 0.003
+    cpabe_decrypt: float = 0.012
+    pke_op: float = 0.002  # one ECIES encrypt/decrypt
+    symmetric_per_byte: float = 25e-9  # ~40 MB/s bulk crypto
+    baseline_match: float = 0.00005  # "simple XPath matching ... roughly .05ms"
+
+    def symmetric(self, num_bytes: int) -> float:
+        return num_bytes * self.symmetric_per_byte
+
+
+def default_schema() -> MetadataSchema:
+    """A 40-bit metadata space matching Table 1 (P = 40 bits).
+
+    Ten attributes with 16 values each → 10 × 4 = 40 vector bits.
+    """
+    return MetadataSchema(
+        [
+            AttributeSpec(f"attr{i:02d}", tuple(f"v{j:02d}" for j in range(16)))
+            for i in range(10)
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class P3SConfig:
+    """Everything needed to stand up one P3S deployment.
+
+    Attributes mirror Table 1 where applicable; ``t_g`` is the RS
+    garbage-collection grace period T_G of §4.3 ("Deletion"), and
+    ``use_anonymizer`` toggles the anonymization service (the paper's
+    basic privacy properties hold without it; §4.1).
+    """
+
+    param_set: str = "TOY"
+    schema: MetadataSchema = field(default_factory=default_schema)
+    timings: ComputeTimings = field(default_factory=ComputeTimings)
+    bandwidth_bps: float = 10_000_000  # ℬ, Table 1
+    lan_bandwidth_bps: float = 100_000_000  # DS→RS hop (§6.2)
+    latency_s: float = 0.045  # ℓ, Table 1
+    guid_bytes: int = 16
+    default_ttl_s: float = 3600.0  # TTL_item default
+    t_g: float = 60.0  # RS grace period T_G
+    rs_gc_interval_s: float = 10.0
+    use_anonymizer: bool = True
+    metadata_topic: str = "p3s.metadata"
+    # a repro.core.pbe_ts.SubscriptionPolicy, or None for the paper's
+    # open model ("legitimate clients may, within a metadata space,
+    # register any subscription", §2)
+    subscription_policy: object | None = None
+
+    def with_(self, **overrides) -> "P3SConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)

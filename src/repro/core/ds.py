@@ -1,0 +1,68 @@
+"""Dissemination Server (DS): the P3S-extended message broker.
+
+Paper §4.1 and §5: the DS is "implemented by extending the AMQ broker".
+It keeps TLS tunnels to publishers and subscribers, receives
+PBE-encrypted metadata and CP-ABE-encrypted payloads from publishers,
+**fans the encrypted metadata out to every registered subscriber** (the
+matching happens at the subscribers — the DS cannot match, which is the
+point), and forwards the encrypted payload to the RS for storage.
+
+The DS sees only: ciphertext sizes, per-publisher publication rates, and
+who is connected — exactly the §6.1 visibility summary; counters exposing
+that view feed the privacy analysis.
+
+Extension (paper §6.2: "this issue can be addressed by reconfiguring the
+P3S architecture to use hierarchical dissemination"): the analytic model
+in :func:`repro.perf.throughput.p3s_throughput` takes a ``relay_fanout``
+parameter that moves the metadata fan-out off the DS egress and onto a
+k-ary relay tree; ``benchmarks/bench_ext_hierarchical.py`` quantifies it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..mq import messages as frames
+from ..mq.broker import Broker
+from ..mq.messages import JmsFrame
+from ..net.network import Host, Message
+from .messages import KIND_METADATA, KIND_PAYLOAD, RPC_STORE, PayloadSubmission
+
+__all__ = ["DisseminationServer"]
+
+
+class DisseminationServer(Broker):
+    """The DS: a topic broker with P3S publication handling grafted on."""
+
+    def __init__(self, host: Host, rs_name: str, metadata_topic: str = "p3s.metadata"):
+        super().__init__(host)
+        self.rs_name = rs_name
+        self.metadata_topic = metadata_topic
+        # HBC-observable state (§6.1: "the DS knows the per-publisher
+        # publication rate and number of items published by each publisher",
+        # and "the size of payloads and the size of encrypted PBE metadata").
+        self.publications_by_publisher: dict[str, int] = defaultdict(int)
+        self.observed_sizes: list[tuple[str, int]] = []
+
+    def on_publish(self, src: str, frame: JmsFrame) -> None:
+        kind = frame.headers.get("p3s-kind")
+        if kind == KIND_METADATA:
+            self.publications_by_publisher[src] += 1
+            self.observed_sizes.append((KIND_METADATA, frame.body_size))
+            # forward PBE-encrypted metadata to ALL registered subscribers
+            self.fan_out(self.metadata_topic, frame)
+        elif kind == KIND_PAYLOAD:
+            self.observed_sizes.append((KIND_PAYLOAD, frame.body_size))
+            self._forward_to_rs(frame)
+        else:
+            # plain JMS traffic keeps working unchanged (§5: the top-level
+            # JMS interface is retained)
+            super().on_publish(src, frame)
+
+    def _forward_to_rs(self, frame: JmsFrame) -> None:
+        submission: PayloadSubmission = frame.body
+        self.channel.send(self.rs_name, RPC_STORE, submission, submission.wire_size)
+
+    @property
+    def registered_subscriber_count(self) -> int:
+        return self.subscriber_count(self.metadata_topic)

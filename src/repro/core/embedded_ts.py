@@ -1,0 +1,40 @@
+"""Embedded per-subscriber token generation (paper §8 future work).
+
+"One potential approach is to find alternative configurations where
+subscriber interest never gets out of the subscriber.  For instance, the
+PBE-TS functionality can be embedded in each subscriber instead of being
+centralized."
+
+:class:`EmbeddedTokenSource` is that configuration: the ARA provisions
+the PBE master key directly into the subscriber's trust boundary (e.g. an
+HSM or an enclave in a real deployment), and tokens are minted locally —
+the plaintext predicate never crosses the network, and the centralized
+PBE-TS's known exposure (§6.1: "the PBE-TS is privy to plaintext
+subscriber interest") disappears.  The trade-off is that every subscriber
+now holds key material that can mint arbitrary tokens, so this
+configuration only fits deployments where subscribers are trusted with
+exactly that power (the paper's alternative — 2-party computation — is
+future work beyond this reproduction's scope).
+"""
+
+from __future__ import annotations
+
+from ..pbe.hve import HVE, HVEMasterKey, HVEToken
+from ..pbe.schema import Interest, MetadataSchema
+
+__all__ = ["EmbeddedTokenSource"]
+
+
+class EmbeddedTokenSource:
+    """Local token minting for one subscriber."""
+
+    def __init__(self, hve: HVE, master_key: HVEMasterKey, schema: MetadataSchema):
+        self.hve = hve
+        self.schema = schema
+        self._master = master_key
+        self.tokens_minted = 0
+
+    def gen_token(self, interest: Interest) -> HVEToken:
+        token = self.hve.gen_token(self._master, self.schema.encode_interest(interest))
+        self.tokens_minted += 1
+        return token

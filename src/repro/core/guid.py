@@ -1,0 +1,25 @@
+"""Globally-unique identifiers for publications.
+
+Paper §4.3: the publisher "generates a unique GUID from a large space
+(making it hard to guess)".  The GUID is the *only* link between the
+PBE-encrypted metadata and the CP-ABE-encrypted payload stored at the RS,
+so guessability would let non-matching parties fetch payloads.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+__all__ = ["GUID_BYTES", "random_guid", "format_guid"]
+
+GUID_BYTES = 16  # 128-bit space; paper's model uses ~10-byte GUIDs
+
+
+def random_guid(num_bytes: int = GUID_BYTES) -> bytes:
+    """A fresh unguessable GUID."""
+    return secrets.token_bytes(num_bytes)
+
+
+def format_guid(guid: bytes) -> str:
+    """Short printable form for logs and reports."""
+    return guid[:8].hex()

@@ -1,0 +1,96 @@
+"""P3S application-layer message payloads.
+
+Every payload knows its own wire size (``wire_size``), computed from real
+serialized ciphertext lengths, so the simulator's serialization-time
+accounting is byte-accurate.  Payload *contents* are ciphertext wherever
+the protocol says so — a dataclass here holding ``bytes`` holds actual
+encrypted bytes produced by the crypto layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import SerializationError
+
+# P3S frame kinds carried in JMS headers / RPC message types
+KIND_METADATA = "p3s.metadata"
+KIND_PAYLOAD = "p3s.payload"
+RPC_TOKEN_REQUEST = "p3s.token-request"
+RPC_RETRIEVE = "p3s.retrieve"
+RPC_STORE = "p3s.store"
+RPC_ANON_FORWARD = "p3s.anon-forward"
+
+__all__ = [
+    "KIND_METADATA",
+    "KIND_PAYLOAD",
+    "RPC_TOKEN_REQUEST",
+    "RPC_RETRIEVE",
+    "RPC_STORE",
+    "RPC_ANON_FORWARD",
+    "EncryptedMetadata",
+    "PayloadSubmission",
+    "AnonEnvelope",
+    "wire_size_of",
+]
+
+
+@dataclass(frozen=True)
+class EncryptedMetadata:
+    """PBE-encrypted GUID, broadcast by the DS to every subscriber.
+
+    ``publication_id`` is a simulation-only correlation handle used by the
+    metrics collector; it is not on the real wire (and carries no
+    information the DS could not already infer from frame ordering).
+    """
+
+    hve_bytes: bytes
+    publication_id: int
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.hve_bytes)
+
+
+@dataclass(frozen=True)
+class PayloadSubmission:
+    """The 3-tuple (GUID, CP-ABE-encrypted (GUID, payload), TTL) of §4.3."""
+
+    guid: bytes
+    ciphertext: bytes
+    ttl_s: float
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.guid) + len(self.ciphertext) + 8  # 8-byte TTL field
+
+
+@dataclass(frozen=True)
+class AnonEnvelope:
+    """A request relayed via the anonymization service.
+
+    The anonymizer learns the ultimate destination and the opaque inner
+    request, but forwards with itself as the source — hiding the
+    requester's identity from the destination.
+    """
+
+    dst: str
+    inner_type: str
+    inner_payload: Any
+
+    @property
+    def wire_size(self) -> int:
+        return 32 + wire_size_of(self.inner_payload)  # routing header + inner
+
+
+def wire_size_of(payload: Any) -> int:
+    """Wire size of an RPC payload: bytes, None, or size-aware dataclass."""
+    if payload is None:
+        return 16
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    size = getattr(payload, "wire_size", None)
+    if size is None:
+        raise SerializationError(f"payload {type(payload).__name__} has no wire size")
+    return size

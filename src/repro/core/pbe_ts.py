@@ -1,0 +1,201 @@
+"""Predicate-Based Encryption Token Server (PBE-TS).
+
+Paper §4.1/§4.3 (Fig. 3): the PBE-TS "receives cleartext subscription
+interest (predicate) from the subscriber, and returns the corresponding
+PBE token".  The request arrives PKE-encrypted under the PBE-TS public
+key as the 3-tuple ``(K_s, subscriber certificate, plaintext predicate)``
+— normally via the anonymization service, so the PBE-TS sees predicates
+but cannot bind them to subscriber identities.  The token is returned
+super-encrypted under ``K_s``.
+
+The server deliberately records every plaintext predicate it sees
+(:attr:`observed_predicates`): the paper calls out "the PBE-TS sees the
+plaintext predicate" as a known exposure, and the privacy analysis in
+:mod:`repro.privacy.analysis` asserts over exactly this observation log.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..crypto.pke import PKEKeyPair
+from ..crypto.signing import Certificate, VerifyKey
+from ..crypto.symmetric import SecretBox
+from ..errors import CertificateError, DecryptionError, SchemaError, TokenRequestError
+from ..net.network import Host
+from ..net.rpc import RpcEndpoint
+from ..net.channel import SecureChannelLayer
+from ..pbe.hve import HVE, HVEMasterKey
+from ..pbe.schema import ANY, Interest, MetadataSchema
+from ..pbe.serialize import serialize_hve_token
+from .config import ComputeTimings
+from .messages import RPC_TOKEN_REQUEST
+
+__all__ = [
+    "PBETokenServer",
+    "SubscriptionPolicy",
+    "encode_token_request",
+    "decode_token_response",
+]
+
+_OK = b"\x01"
+_ERR = b"\x00"
+
+
+@dataclass(frozen=True)
+class SubscriptionPolicy:
+    """Subscription control (paper §8: "there is no subscription control
+    policy enforced on the subscribers" — listed as a shortcoming; this is
+    the natural enforcement point).
+
+    * ``min_constrained_attributes`` rejects overly broad predicates (the
+      paper already assumes honest clients never subscribe all-wildcard;
+      this makes it policy).
+    * ``allowed_attributes`` restricts which attributes a predicate may
+      constrain.
+    * ``max_tokens_per_subject`` throttles token accumulation per
+      certificate pseudonym — a rate-limit counterpart to the
+      time-stamped-token mitigation against the §6.1 accumulation attack.
+    """
+
+    min_constrained_attributes: int = 1
+    allowed_attributes: frozenset[str] | None = None
+    max_tokens_per_subject: int | None = None
+
+    def check(self, subject: str, interest: Interest, issued_so_far: int) -> None:
+        """Raise :class:`TokenRequestError` when the request violates policy."""
+        constrained = [
+            name for name, value in interest.constraints.items() if value is not ANY
+        ]
+        if len(constrained) < self.min_constrained_attributes:
+            raise TokenRequestError(
+                f"predicate constrains {len(constrained)} attribute(s); "
+                f"policy requires at least {self.min_constrained_attributes}"
+            )
+        if self.allowed_attributes is not None:
+            forbidden = set(constrained) - self.allowed_attributes
+            if forbidden:
+                raise TokenRequestError(
+                    f"predicate constrains disallowed attributes: {sorted(forbidden)}"
+                )
+        if self.max_tokens_per_subject is not None and issued_so_far >= self.max_tokens_per_subject:
+            raise TokenRequestError(
+                f"subject {subject!r} exhausted its token quota "
+                f"({self.max_tokens_per_subject})"
+            )
+
+
+def encode_token_request(
+    session_key: bytes, certificate: Certificate, interest: Interest, zr_bytes: int
+) -> bytes:
+    """Plaintext body of the 3-tuple (K_s, certificate, predicate)."""
+    cert_bytes = certificate.to_bytes(zr_bytes)
+    body = {
+        "ks": session_key.hex(),
+        "cert": cert_bytes.hex(),
+        "interest": interest.to_json(),
+    }
+    return json.dumps(body, sort_keys=True).encode("utf-8")
+
+
+def decode_token_response(session_key: bytes, sealed: bytes) -> bytes:
+    """Unseal the PBE-TS reply; returns serialized token bytes.
+
+    Raises :class:`TokenRequestError` if the server reported a failure.
+    """
+    plaintext = SecretBox(session_key).open(sealed)
+    if not plaintext or plaintext[:1] != _OK:
+        raise TokenRequestError(
+            f"PBE-TS refused token: {plaintext[1:].decode('utf-8', 'replace') or 'unknown error'}"
+        )
+    return plaintext[1:]
+
+
+class PBETokenServer:
+    """The PBE-TS service process."""
+
+    def __init__(
+        self,
+        host: Host,
+        hve: HVE,
+        master_key: HVEMasterKey,
+        schema: MetadataSchema,
+        ara_verify_key: VerifyKey,
+        timings: ComputeTimings,
+        subscription_policy: SubscriptionPolicy | None = None,
+    ):
+        self.host = host
+        self.hve = hve
+        self.schema = schema
+        self.timings = timings
+        self.subscription_policy = subscription_policy
+        self._master = master_key
+        self._ara_verify_key = ara_verify_key
+        self.pke = PKEKeyPair(hve.group)
+        self.rpc = RpcEndpoint(SecureChannelLayer(host))
+        self.rpc.serve(RPC_TOKEN_REQUEST, self._handle_token_request)
+        # What this (honest-but-curious) server inevitably learns:
+        self.observed_predicates: list[tuple[float, str]] = []
+        self.observed_sources: list[str] = []
+        self.observed_subjects: list[str] = []  # certificate pseudonyms
+        self.tokens_issued = 0
+        self._issued_by_subject: dict[str, int] = defaultdict(int)
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @property
+    def sim(self):
+        return self.host.network.sim
+
+    def start(self) -> None:
+        self.rpc.start()
+
+    # -- request handling (generator: advances simulated compute time) --------
+
+    def _handle_token_request(self, src: str, message):
+        self.observed_sources.append(src)  # with the anonymizer this is never a subscriber
+        yield self.sim.timeout(self.timings.pke_op)
+        try:
+            session_key, certificate, interest = self._open_request(message.payload)
+        except TokenRequestError:
+            return (_ERR, 1)  # cannot even recover K_s; reply with a bare error
+        try:
+            self._validate(certificate)
+            self.observed_subjects.append(certificate.subject)
+            self.observed_predicates.append((self.sim.now, interest.to_json()))
+            if self.subscription_policy is not None:
+                self.subscription_policy.check(
+                    certificate.subject,
+                    interest,
+                    self._issued_by_subject[certificate.subject],
+                )
+            yield self.sim.timeout(self.timings.pbe_token_gen)
+            token = self.hve.gen_token(self._master, self.schema.encode_interest(interest))
+            token_bytes = serialize_hve_token(self.hve.group, token)
+            self.tokens_issued += 1
+            self._issued_by_subject[certificate.subject] += 1
+            reply = _OK + token_bytes
+        except (CertificateError, SchemaError, TokenRequestError) as exc:
+            reply = _ERR + str(exc).encode("utf-8")
+        yield self.sim.timeout(self.timings.symmetric(len(reply)))
+        sealed = SecretBox(session_key).seal(reply)
+        return (sealed, len(sealed))
+
+    def _open_request(self, payload: bytes) -> tuple[bytes, Certificate, Interest]:
+        try:
+            body = json.loads(self.pke.decrypt(payload).decode("utf-8"))
+            session_key = bytes.fromhex(body["ks"])
+            certificate = Certificate.from_bytes(
+                bytes.fromhex(body["cert"]), self.hve.group.zr_bytes
+            )
+            interest = Interest.from_json(body["interest"])
+        except (DecryptionError, ValueError, KeyError) as exc:
+            raise TokenRequestError(f"malformed token request: {exc}") from exc
+        return session_key, certificate, interest
+
+    def _validate(self, certificate: Certificate) -> None:
+        certificate.validate(self._ara_verify_key, "subscriber", now=self.sim.now)

@@ -1,0 +1,145 @@
+"""The P3S publisher client library.
+
+Implements the publication protocol of §4.3 (Fig. 4) on top of the JMS
+client: for each publication the publisher
+
+1. draws a fresh unguessable GUID,
+2. PBE-encrypts the GUID under the item's metadata and publishes it to
+   the DS (which fans it out to every subscriber),
+3. CP-ABE-encrypts the 2-tuple ``(GUID, payload)`` under an access policy
+   and sends ``(GUID, ciphertext, TTL_item)`` to the DS (which forwards
+   it to the RS).
+
+The publisher never learns whether the item matched anyone, nor who
+received it (§6.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..abe.hybrid import HybridCPABE
+from ..abe.policy import PolicyNode
+from ..abe.serialize import serialize_hybrid
+from ..crypto.group import PairingGroup
+from ..mq.client import JmsConnection
+from ..pbe.hve import HVE
+from ..pbe.serialize import serialize_hve_ciphertext
+from .ara import PublisherCredentials
+from .config import ComputeTimings
+from .guid import random_guid
+from .messages import KIND_METADATA, KIND_PAYLOAD, EncryptedMetadata, PayloadSubmission
+
+__all__ = ["Publisher", "PublicationRecord"]
+
+
+@dataclass
+class PublicationRecord:
+    """What the publisher knows about one of its own publications."""
+
+    publication_id: int
+    guid: bytes
+    metadata: dict[str, str]
+    policy: str | PolicyNode
+    ttl_s: float
+    submitted_at: float = 0.0
+    metadata_bytes: int = 0
+    payload_bytes: int = 0
+    headers: dict = field(default_factory=dict)
+
+
+class Publisher:
+    """One P3S publisher endpoint."""
+
+    _publication_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        credentials: PublisherCredentials,
+        connection: JmsConnection,
+        group: PairingGroup,
+        timings: ComputeTimings,
+        guid_bytes: int = 16,
+        publish_topic: str = "p3s.publish",
+    ):
+        self.credentials = credentials
+        self.connection = connection
+        self.group = group
+        self.timings = timings
+        self.guid_bytes = guid_bytes
+        self.hve = HVE(group)
+        self.cpabe = HybridCPABE(group)
+        self._producer = connection.create_session().create_producer(publish_topic)
+        self.published: list[PublicationRecord] = []
+
+    @property
+    def name(self) -> str:
+        return self.credentials.name
+
+    @property
+    def sim(self):
+        return self.connection.sim
+
+    def publish(
+        self,
+        metadata: dict[str, str],
+        payload: bytes,
+        policy: str | PolicyNode,
+        ttl_s: float = 3600.0,
+    ) -> PublicationRecord:
+        """Publish one item; returns its record immediately.
+
+        Encryption and transmission run as a simulator process; the
+        record's ``submitted_at`` is stamped when the process starts.
+        """
+        record = PublicationRecord(
+            publication_id=next(self._publication_ids),
+            guid=random_guid(self.guid_bytes),
+            metadata=dict(metadata),
+            policy=policy,
+            ttl_s=ttl_s,
+        )
+        self.published.append(record)
+        self.sim.process(self._publish_process(record, payload))
+        return record
+
+    def reconnect(self) -> None:
+        """Re-register with a restarted DS (§6.1: "upon restart a publisher
+        needs only to (re)register with the DS")."""
+        self.connection.reconnect()
+
+    # -- the §4.3 publication protocol ------------------------------------------
+
+    def _publish_process(self, record: PublicationRecord, payload: bytes):
+        record.submitted_at = self.sim.now
+        schema = self.credentials.schema
+
+        # Step 1-2: PBE-encrypt the GUID under the metadata, send to DS.
+        yield self.sim.timeout(self.timings.pbe_encrypt)
+        attribute_vector = schema.encode_metadata(record.metadata)
+        hve_ciphertext = self.hve.encrypt(
+            self.credentials.hve_public_key, attribute_vector, record.guid
+        )
+        hve_bytes = serialize_hve_ciphertext(self.group, hve_ciphertext)
+        record.metadata_bytes = len(hve_bytes)
+        envelope = EncryptedMetadata(hve_bytes=hve_bytes, publication_id=record.publication_id)
+        self._producer.send(
+            envelope, envelope.wire_size, headers={"p3s-kind": KIND_METADATA}
+        )
+
+        # Step 3: CP-ABE-encrypt (GUID, payload) under the policy, send to DS→RS.
+        yield self.sim.timeout(
+            self.timings.cpabe_encrypt + self.timings.symmetric(len(payload))
+        )
+        hybrid = self.cpabe.encrypt(
+            self.credentials.cpabe_public_key, record.guid + payload, record.policy
+        )
+        ciphertext = serialize_hybrid(self.group, hybrid)
+        record.payload_bytes = len(ciphertext)
+        submission = PayloadSubmission(
+            guid=record.guid, ciphertext=ciphertext, ttl_s=record.ttl_s
+        )
+        self._producer.send(
+            submission, submission.wire_size, headers={"p3s-kind": KIND_PAYLOAD}
+        )

@@ -1,0 +1,187 @@
+"""Repository Server (RS): encrypted payload store with TTL garbage collection.
+
+Paper §4.1/§4.3: the RS "stores CP-ABE encrypted payloads along with
+their associated GUIDs, and sends the encrypted payload associated with a
+GUID to a subscriber upon request".  Retrieval requests arrive (via the
+anonymizer) PKE-encrypted under the RS public key as ``(K_s, GUID)``; the
+stored ciphertext is returned super-encrypted under ``K_s`` "to prevent
+eavesdroppers from learning if more than one subscriber has received the
+same payload" (§6.1).
+
+Deletion (§4.3): each item carries TTL_item; the RS deletes it at
+``arrival + TTL_item + T_G`` where the grace period ``T_G`` accommodates
+slow consumers.  ``T_G = 0`` gives the strict interpretation, at the cost
+of more failed fetches.
+
+Like the PBE-TS, the RS records what an honest-but-curious operator would
+inevitably learn (request counts per stored item, item sizes, whether an
+item was ever matched) — the privacy analysis asserts over these logs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..crypto.pke import PKEKeyPair
+from ..crypto.group import PairingGroup
+from ..crypto.symmetric import SecretBox
+from ..errors import DecryptionError, RetrievalError
+from ..net.channel import SecureChannelLayer
+from ..net.network import Host
+from ..net.rpc import RpcEndpoint
+from .config import ComputeTimings
+from .messages import RPC_RETRIEVE, RPC_STORE, PayloadSubmission
+
+__all__ = ["RepositoryServer", "encode_retrieval_request", "decode_retrieval_response"]
+
+_OK = b"\x01"
+_ERR = b"\x00"
+
+
+def encode_retrieval_request(session_key: bytes, guid: bytes) -> bytes:
+    """Plaintext body of the 2-tuple (K_s, GUID)."""
+    return json.dumps({"ks": session_key.hex(), "guid": guid.hex()}).encode("utf-8")
+
+
+def decode_retrieval_response(session_key: bytes, sealed: bytes) -> bytes:
+    """Unseal the RS reply; returns the CP-ABE ciphertext bytes.
+
+    Raises :class:`RetrievalError` if the item was missing or expired.
+    """
+    plaintext = SecretBox(session_key).open(sealed)
+    if not plaintext or plaintext[:1] != _OK:
+        raise RetrievalError(
+            plaintext[1:].decode("utf-8", "replace") or "unknown retrieval failure"
+        )
+    return plaintext[1:]
+
+
+@dataclass
+class _StoredItem:
+    ciphertext: bytes
+    stored_at: float
+    expires_at: float
+    request_count: int = 0
+
+
+class RepositoryServer:
+    """The RS service process."""
+
+    def __init__(
+        self,
+        host: Host,
+        group: PairingGroup,
+        timings: ComputeTimings,
+        t_g: float = 60.0,
+        gc_interval_s: float = 10.0,
+    ):
+        self.host = host
+        self.timings = timings
+        self.t_g = t_g
+        self.gc_interval_s = gc_interval_s
+        self.pke = PKEKeyPair(group)
+        self.rpc = RpcEndpoint(SecureChannelLayer(host))
+        self.rpc.serve(RPC_STORE, self._handle_store)
+        self.rpc.serve(RPC_RETRIEVE, self._handle_retrieve)
+        # _items models the on-disk store: "The RS stores encrypted content
+        # on disk" (§6.1) — it survives crash()/restart().
+        self._items: dict[bytes, _StoredItem] = {}
+        self.crashed = False
+        # HBC-observable state (consumed by the privacy analysis):
+        self.stored_count = 0
+        self.expired_count = 0
+        self.failed_retrievals = 0
+        self.observed_sources: list[str] = []
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @property
+    def sim(self):
+        return self.host.network.sim
+
+    def start(self) -> None:
+        self.rpc.start()
+        self.sim.process(self._gc_loop())
+
+    # -- store (one-way, forwarded by the DS) ----------------------------------
+
+    def _handle_store(self, src: str, message) -> None:
+        if self.crashed:
+            return  # frames to a crashed RS are lost
+        submission: PayloadSubmission = message.payload
+        self._items[submission.guid] = _StoredItem(
+            ciphertext=submission.ciphertext,
+            stored_at=self.sim.now,
+            expires_at=self.sim.now + submission.ttl_s + self.t_g,
+        )
+        self.stored_count += 1
+
+    # -- retrieve (request-response via anonymizer) ---------------------------------
+
+    def _handle_retrieve(self, src: str, message):
+        if self.crashed:
+            return (b"", 1)  # degenerate reply; requester's unseal fails
+        self.observed_sources.append(src)
+        yield self.sim.timeout(self.timings.pke_op)
+        try:
+            body = json.loads(self.pke.decrypt(message.payload).decode("utf-8"))
+            session_key = bytes.fromhex(body["ks"])
+            guid = bytes.fromhex(body["guid"])
+        except (DecryptionError, ValueError, KeyError):
+            return (_ERR, 1)
+        item = self._items.get(guid)
+        if item is None or self.sim.now >= item.expires_at:
+            self.failed_retrievals += 1
+            reply = _ERR + b"no such item (unknown GUID or expired)"
+        else:
+            item.request_count += 1
+            reply = _OK + item.ciphertext
+        yield self.sim.timeout(self.timings.symmetric(len(reply)))
+        sealed = SecretBox(session_key).seal(reply)
+        return (sealed, len(sealed))
+
+    # -- garbage collection (§4.3 Deletion) --------------------------------------------
+
+    def _gc_loop(self):
+        while True:
+            # daemon: the periodic sweep must not keep the simulation alive
+            yield self.sim.timeout(self.gc_interval_s, daemon=True)
+            self.collect_garbage()
+
+    def collect_garbage(self) -> int:
+        """Drop every item past ``TTL_item + T_G``; returns how many."""
+        now = self.sim.now
+        expired = [guid for guid, item in self._items.items() if now >= item.expires_at]
+        for guid in expired:
+            del self._items[guid]
+        self.expired_count += len(expired)
+        return len(expired)
+
+    # -- crash / restart (§6.1) --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash: volatile state is lost, the disk store is not."""
+        self.crashed = True
+
+    def restart(self) -> None:
+        """"A crashed component can resume publish-subscribe activities
+        after restart without requiring re-encryption of any published
+        content" (§6.1): the encrypted items survived on disk."""
+        self.crashed = False
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def holds(self, guid: bytes) -> bool:
+        item = self._items.get(guid)
+        return item is not None and self.sim.now < item.expires_at
+
+    def request_count(self, guid: bytes) -> int:
+        item = self._items.get(guid)
+        return 0 if item is None else item.request_count
+
+    @property
+    def item_count(self) -> int:
+        return len(self._items)

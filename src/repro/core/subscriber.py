@@ -1,0 +1,260 @@
+"""The P3S subscriber client library.
+
+Implements the subscription (Fig. 3) and retrieval (Fig. 4, bottom half)
+protocols:
+
+* **Subscription** — generate a symmetric key ``K_s``, PKE-encrypt
+  ``(K_s, subscriber certificate, plaintext predicate)`` to the PBE-TS,
+  send it via the anonymization service, and unseal the returned PBE
+  token with ``K_s``.  The interest never leaves the subscriber except
+  inside that encrypted request.
+* **Local matching** — every PBE-encrypted metadata broadcast from the DS
+  is tested against the subscriber's tokens *locally*; a match reveals
+  exactly the GUID and nothing else about the metadata.
+* **Retrieval** — PKE-encrypt ``(K_s, GUID)`` to the RS, send via the
+  anonymizer, unseal the CP-ABE ciphertext, and decrypt it iff this
+  subscriber's CP-ABE attributes satisfy the publisher's policy.  The
+  recovered GUID is compared with the requested one to correlate
+  request and response (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..abe.hybrid import HybridCPABE
+from ..abe.serialize import deserialize_hybrid
+from ..crypto.group import PairingGroup
+from ..crypto.symmetric import SecretBox
+from ..errors import DecryptionError, RetrievalError, TokenRequestError
+from ..mq.client import JmsConnection
+from ..pbe.hve import HVE, HVEToken
+from ..pbe.schema import Interest
+from ..pbe.serialize import deserialize_hve_ciphertext, deserialize_hve_token
+from .ara import SubscriberCredentials
+from .config import ComputeTimings
+from .messages import (
+    RPC_ANON_FORWARD,
+    RPC_RETRIEVE,
+    RPC_TOKEN_REQUEST,
+    AnonEnvelope,
+    EncryptedMetadata,
+)
+from .pbe_ts import decode_token_response, encode_token_request
+from .rs import decode_retrieval_response, encode_retrieval_request
+
+__all__ = ["Subscriber", "Delivery", "SubscriberStats"]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One payload delivered to the application."""
+
+    publication_id: int
+    guid: bytes
+    payload: bytes
+    delivered_at: float
+
+
+@dataclass
+class SubscriberStats:
+    """Counters for everything a subscriber observes."""
+
+    metadata_seen: int = 0
+    matches: int = 0
+    non_matches: int = 0
+    failed_fetches: int = 0  # expired / unknown GUID at the RS
+    access_denied: int = 0  # CP-ABE attributes insufficient
+    deliveries: list[Delivery] = field(default_factory=list)
+
+
+class Subscriber:
+    """One P3S subscriber endpoint."""
+
+    def __init__(
+        self,
+        credentials: SubscriberCredentials,
+        connection: JmsConnection,
+        group: PairingGroup,
+        timings: ComputeTimings,
+        use_anonymizer: bool = True,
+        guid_bytes: int = 16,
+        metadata_topic: str = "p3s.metadata",
+        on_payload: Callable[[Delivery], None] | None = None,
+        local_token_source=None,
+        retrieval_retries: int = 3,
+        retry_delay_s: float = 0.25,
+    ):
+        self.credentials = credentials
+        self.connection = connection
+        self.group = group
+        self.timings = timings
+        self.use_anonymizer = use_anonymizer
+        self.guid_bytes = guid_bytes
+        self.hve = HVE(group)
+        self.cpabe = HybridCPABE(group)
+        self.on_payload = on_payload
+        self.local_token_source = local_token_source
+        self.retrieval_retries = retrieval_retries
+        self.retry_delay_s = retry_delay_s
+        self.stats = SubscriberStats()
+        self.tokens: list[tuple[Interest, HVEToken]] = []
+        consumer = connection.create_session().create_consumer(metadata_topic)
+        consumer.set_message_listener(self._on_metadata)
+
+    @property
+    def name(self) -> str:
+        return self.credentials.name
+
+    @property
+    def sim(self):
+        return self.connection.sim
+
+    @property
+    def directory(self):
+        return self.credentials.directory
+
+    # -- subscription (Fig. 3) -------------------------------------------------
+
+    def subscribe(self, interest: Interest):
+        """Obtain a PBE token for ``interest``; returns the process event."""
+        return self.sim.process(self._subscribe_process(interest))
+
+    def _subscribe_process(self, interest: Interest):
+        if self.local_token_source is not None:
+            # §8 future-work configuration: mint the token locally — the
+            # plaintext predicate never leaves the subscriber.
+            yield self.sim.timeout(self.timings.pbe_token_gen)
+            token = self.local_token_source.gen_token(interest)
+            self.tokens.append((interest, token))
+            return token
+        session_key = SecretBox.generate_key()
+        body = encode_token_request(
+            session_key, self.credentials.certificate, interest, self.group.zr_bytes
+        )
+        yield self.sim.timeout(self.timings.pke_op)
+        request = self.directory.pbe_ts_public_key.encrypt(body)
+        sealed = yield self._anonymized_call(
+            self.directory.pbe_ts_name, RPC_TOKEN_REQUEST, request
+        )
+        yield self.sim.timeout(self.timings.symmetric(len(sealed)))
+        try:
+            token_bytes = decode_token_response(session_key, sealed)
+        except (TokenRequestError, DecryptionError) as exc:
+            raise TokenRequestError(f"{self.name}: token request failed: {exc}") from exc
+        token = deserialize_hve_token(self.group, token_bytes)
+        self.tokens.append((interest, token))
+        return token
+
+    def unsubscribe(self, interest: Interest) -> bool:
+        """Drop the local token for ``interest``.
+
+        Matching is local, so unsubscribing is purely client-side: the
+        token is discarded and future broadcasts stop matching.  (No party
+        needs to be told — another consequence of interest privacy.)
+        Returns whether a token was found and removed.
+        """
+        for index, (held, _) in enumerate(self.tokens):
+            if held.constraints == interest.constraints:
+                del self.tokens[index]
+                return True
+        return False
+
+    # -- crash / restart (§6.1 robustness) ---------------------------------------
+
+    def restart(self):
+        """Simulate a subscriber crash + restart.
+
+        "A restarted subscriber simply needs to (re)register with the DS
+        and (re)obtain its PBE tokens from the PBE-TS" (§6.1).  Volatile
+        state (tokens) is lost; the remembered interests are re-requested.
+        Returns the list of re-subscription process events.
+        """
+        interests = [interest for interest, _ in self.tokens]
+        self.tokens.clear()
+        self.connection.reconnect()
+        return [self.subscribe(interest) for interest in interests]
+
+    def reconnect(self) -> None:
+        """Re-register with a restarted DS (no token loss on our side)."""
+        self.connection.reconnect()
+
+    # -- metadata matching (local, on every DS broadcast) -----------------------
+
+    def _on_metadata(self, frame) -> None:
+        self.sim.process(self._match_process(frame.body))
+
+    def _match_process(self, envelope: EncryptedMetadata):
+        self.stats.metadata_seen += 1
+        ciphertext = deserialize_hve_ciphertext(self.group, envelope.hve_bytes)
+        guid = None
+        for _, token in self.tokens:
+            yield self.sim.timeout(self.timings.pbe_match)
+            guid = self.hve.query(token, ciphertext)
+            if guid is not None:
+                break
+        if guid is None:
+            self.stats.non_matches += 1
+            return
+        self.stats.matches += 1
+        yield from self._retrieve_process(guid, envelope.publication_id)
+
+    # -- retrieval (Fig. 4) ------------------------------------------------------
+
+    def _retrieve_process(self, guid: bytes, publication_id: int):
+        # Retries cover the protocol's inherent race: a fast matcher can
+        # request a payload before the DS→RS content submission lands
+        # (the paper's t_f/t_b decomposition takes max() for this reason).
+        ciphertext_bytes = None
+        for attempt in range(self.retrieval_retries + 1):
+            if attempt:
+                yield self.sim.timeout(self.retry_delay_s)
+            session_key = SecretBox.generate_key()
+            body = encode_retrieval_request(session_key, guid)
+            yield self.sim.timeout(self.timings.pke_op)
+            request = self.directory.rs_public_key.encrypt(body)
+            sealed = yield self._anonymized_call(self.directory.rs_name, RPC_RETRIEVE, request)
+            yield self.sim.timeout(self.timings.symmetric(len(sealed)))
+            try:
+                ciphertext_bytes = decode_retrieval_response(session_key, sealed)
+                break
+            except (RetrievalError, DecryptionError):
+                continue
+        if ciphertext_bytes is None:
+            self.stats.failed_fetches += 1
+            return
+        yield self.sim.timeout(
+            self.timings.cpabe_decrypt + self.timings.symmetric(len(ciphertext_bytes))
+        )
+        try:
+            plaintext = self.cpabe.decrypt(
+                self.credentials.cpabe_secret_key,
+                deserialize_hybrid(self.group, ciphertext_bytes),
+            )
+        except DecryptionError:
+            self.stats.access_denied += 1
+            return
+        recovered_guid, payload = plaintext[: self.guid_bytes], plaintext[self.guid_bytes :]
+        if recovered_guid != guid:
+            self.stats.access_denied += 1  # treat as undecodable
+            return
+        delivery = Delivery(
+            publication_id=publication_id,
+            guid=guid,
+            payload=payload,
+            delivered_at=self.sim.now,
+        )
+        self.stats.deliveries.append(delivery)
+        if self.on_payload is not None:
+            self.on_payload(delivery)
+
+    # -- transport helper ------------------------------------------------------------
+
+    def _anonymized_call(self, dst: str, msg_type: str, request: bytes):
+        if self.use_anonymizer and self.directory.anonymizer_name:
+            envelope = AnonEnvelope(dst=dst, inner_type=msg_type, inner_payload=request)
+            return self.connection.endpoint.call(
+                self.directory.anonymizer_name, RPC_ANON_FORWARD, envelope, envelope.wire_size
+            )
+        return self.connection.endpoint.call(dst, msg_type, request, len(request))

@@ -1,0 +1,174 @@
+"""Deployment orchestration: stand up a full P3S system in the simulator.
+
+:class:`P3SSystem` builds the topology of Fig. 1 — DS, RS, PBE-TS,
+anonymization service, any number of publishers and subscribers — wires
+all keying material through the ARA, and exposes convenience accessors
+for experiments (deliveries per publication, per-component observation
+logs, the eavesdropper wire trace).
+
+Typical use::
+
+    system = P3SSystem()
+    alice = system.add_subscriber("alice", attributes={"org:acme"})
+    system.subscribe(alice, Interest({"topic": "m&a"}))
+    bob = system.add_publisher("bob")
+    record = bob.publish({"topic": "m&a", ...}, b"payload", policy="org:acme")
+    system.run()
+    deliveries = system.deliveries_for(record)
+"""
+
+from __future__ import annotations
+
+from ..crypto.group import PairingGroup
+from ..mq.client import JmsConnection
+from ..net.network import Network
+from ..net.simulator import Simulator
+from ..pbe.hve import HVE
+from ..pbe.schema import Interest
+from .anonymizer import AnonymizationService
+from .ara import RegistrationAuthority
+from .config import P3SConfig
+from .ds import DisseminationServer
+from .pbe_ts import PBETokenServer
+from .publisher import PublicationRecord, Publisher
+from .rs import RepositoryServer
+from .subscriber import Delivery, Subscriber
+
+__all__ = ["P3SSystem"]
+
+
+class P3SSystem:
+    """One fully-wired P3S deployment inside a discrete-event simulation."""
+
+    def __init__(self, config: P3SConfig | None = None):
+        self.config = config or P3SConfig()
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            default_bandwidth_bps=self.config.bandwidth_bps,
+            latency_s=self.config.latency_s,
+        )
+        self.group = PairingGroup(self.config.param_set)
+        self.ara = RegistrationAuthority(self.group, self.config.schema)
+
+        # --- third parties (Fig. 1) ---
+        self.rs = RepositoryServer(
+            self.network.add_host("rs"),
+            self.group,
+            self.config.timings,
+            t_g=self.config.t_g,
+            gc_interval_s=self.config.rs_gc_interval_s,
+        )
+        ds_host = self.network.add_host("ds")
+        ds_host.set_link_bandwidth("rs", self.config.lan_bandwidth_bps)
+        self.ds = DisseminationServer(ds_host, "rs", self.config.metadata_topic)
+        hve = HVE(self.group)
+        master_key, verify_key = self.ara.provision_pbe_ts()
+        self.pbe_ts = PBETokenServer(
+            self.network.add_host("pbe-ts"),
+            hve,
+            master_key,
+            self.config.schema,
+            verify_key,
+            self.config.timings,
+            subscription_policy=self.config.subscription_policy,
+        )
+        self.anonymizer = AnonymizationService(self.network.add_host("anon"))
+
+        self.ara.install_service("ds", "ds")
+        self.ara.install_service("rs", "rs", self.rs.pke.public)
+        self.ara.install_service("pbe_ts", "pbe-ts", self.pbe_ts.pke.public)
+        self.ara.install_service("anonymizer", "anon")
+
+        self.rs.start()
+        self.ds.start()
+        self.pbe_ts.start()
+        self.anonymizer.start()
+
+        self.publishers: dict[str, Publisher] = {}
+        self.subscribers: dict[str, Subscriber] = {}
+
+    # -- participants -----------------------------------------------------------
+
+    def add_publisher(self, name: str) -> Publisher:
+        credentials = self.ara.register_publisher(name)
+        connection = JmsConnection(self.network.add_host(name), "ds")
+        connection.start()
+        publisher = Publisher(
+            credentials,
+            connection,
+            self.group,
+            self.config.timings,
+            guid_bytes=self.config.guid_bytes,
+        )
+        self.publishers[name] = publisher
+        return publisher
+
+    def add_subscriber(
+        self,
+        name: str,
+        attributes: set[str],
+        on_payload=None,
+        embedded_token_source: bool = False,
+    ) -> Subscriber:
+        """Register and connect a subscriber.
+
+        ``embedded_token_source=True`` enables the §8 future-work
+        configuration: the ARA provisions PBE master material into the
+        subscriber and tokens are minted locally, so the plaintext
+        predicate never leaves the subscriber.
+        """
+        credentials = self.ara.register_subscriber(name, attributes)
+        connection = JmsConnection(self.network.add_host(name), "ds")
+        connection.start()
+        token_source = None
+        if embedded_token_source:
+            from ..pbe.hve import HVE
+            from .embedded_ts import EmbeddedTokenSource
+
+            master_key, _ = self.ara.provision_pbe_ts()
+            token_source = EmbeddedTokenSource(HVE(self.group), master_key, self.config.schema)
+        subscriber = Subscriber(
+            credentials,
+            connection,
+            self.group,
+            self.config.timings,
+            use_anonymizer=self.config.use_anonymizer,
+            guid_bytes=self.config.guid_bytes,
+            metadata_topic=self.config.metadata_topic,
+            on_payload=on_payload,
+            local_token_source=token_source,
+        )
+        self.subscribers[name] = subscriber
+        return subscriber
+
+    def subscribe(self, subscriber: Subscriber, interest: Interest):
+        """Kick off the Fig. 3 token-request protocol for ``interest``."""
+        return subscriber.subscribe(interest)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> None:
+        self.sim.run(until=until)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- experiment accessors ----------------------------------------------------------
+
+    def deliveries_for(self, record: PublicationRecord) -> list[Delivery]:
+        """All deliveries of one publication, across every subscriber."""
+        return [
+            delivery
+            for subscriber in self.subscribers.values()
+            for delivery in subscriber.stats.deliveries
+            if delivery.guid == record.guid
+        ]
+
+    def delivery_latencies(self, record: PublicationRecord) -> list[float]:
+        """End-to-end latency (submit → application delivery) per receiver."""
+        return [
+            delivery.delivered_at - record.submitted_at
+            for delivery in self.deliveries_for(record)
+        ]

@@ -1,0 +1,241 @@
+"""Point arithmetic on the Type-A supersingular curve ``y² = x³ + x``.
+
+Points live in ``E(F_q)``; the pairing module applies the distortion map
+``ψ(x, y) = (−x, i·y)`` implicitly, so this module never needs points with
+``F_q²`` coordinates.  Affine coordinates are used throughout: CPython's
+``pow(x, -1, q)`` makes the per-addition modular inverse cheap relative to
+the bignum multiplies, and affine formulas keep the Miller loop simple.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..errors import NotOnCurveError, SerializationError
+from .field import fq_is_square, fq_sqrt
+from .params import TypeAParams
+
+__all__ = ["Point", "hash_to_point"]
+
+
+class Point:
+    """An affine point on ``y² = x³ + x`` over ``F_q``, or the point at infinity.
+
+    Immutable.  The point at infinity is represented by
+    ``x is None and y is None`` and constructed via :meth:`infinity`.
+    """
+
+    __slots__ = ("x", "y", "params")
+
+    def __init__(self, x: int | None, y: int | None, params: TypeAParams, *, check: bool = True):
+        self.params = params
+        if x is None or y is None:
+            self.x = None
+            self.y = None
+            return
+        q = params.q
+        self.x = x % q
+        self.y = y % q
+        if check and not self._on_curve():
+            raise NotOnCurveError(f"({x:#x}, {y:#x}) is not on y^2 = x^3 + x")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def infinity(cls, params: TypeAParams) -> "Point":
+        return cls(None, None, params)
+
+    @classmethod
+    def generator(cls, params: TypeAParams) -> "Point":
+        return cls(params.gx, params.gy, params, check=False)
+
+    # -- predicates ------------------------------------------------------------
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def _on_curve(self) -> bool:
+        q = self.params.q
+        return (self.y * self.y - (self.x * self.x * self.x + self.x)) % q == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.x == other.x and self.y == other.y and self.params.q == other.params.q
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y, self.params.q))
+
+    # -- group law ---------------------------------------------------------------
+
+    def __neg__(self) -> "Point":
+        if self.is_infinity:
+            return self
+        return Point(self.x, -self.y, self.params, check=False)
+
+    def __add__(self, other: "Point") -> "Point":
+        if self.is_infinity:
+            return other
+        if other.is_infinity:
+            return self
+        q = self.params.q
+        x1, y1, x2, y2 = self.x, self.y, other.x, other.y
+        if x1 == x2:
+            if (y1 + y2) % q == 0:
+                return Point.infinity(self.params)
+            lam = (3 * x1 * x1 + 1) * pow(2 * y1, -1, q) % q
+        else:
+            lam = (y2 - y1) * pow(x2 - x1, -1, q) % q
+        x3 = (lam * lam - x1 - x2) % q
+        y3 = (lam * (x1 - x3) - y1) % q
+        return Point(x3, y3, self.params, check=False)
+
+    def double(self) -> "Point":
+        return self + self
+
+    def __mul__(self, k: int) -> "Point":
+        """Scalar multiplication ``k·P``.
+
+        ``k`` is used as given — it is *not* reduced modulo ``r``, because
+        cofactor clearing multiplies points that are not yet in the
+        order-``r`` subgroup.  Large scalars go through the windowed
+        ladder (fewer additions); small ones use plain double-and-add.
+        """
+        if k < 0:
+            return (-self) * (-k)
+        if k == 0 or self.is_infinity:
+            return Point.infinity(self.params)
+        if k.bit_length() > 32:
+            return self.scalar_mul_windowed(k)
+        result = Point.infinity(self.params)
+        addend = self
+        while k:
+            if k & 1:
+                result = result + addend
+            k >>= 1
+            if k:
+                addend = addend + addend
+        return result
+
+    __rmul__ = __mul__
+
+    def scalar_mul_windowed(self, k: int, window_bits: int = 4) -> "Point":
+        """Fixed-window scalar multiplication.
+
+        Precomputes ``2^w − 1`` multiples, then needs one addition per
+        ``w`` doublings — roughly a quarter of the additions of plain
+        double-and-add for 160-bit scalars at ``w = 4``.
+        """
+        if k < 0:
+            return (-self).scalar_mul_windowed(-k, window_bits)
+        if k == 0 or self.is_infinity:
+            return Point.infinity(self.params)
+        table = [Point.infinity(self.params), self]
+        for _ in range(2, 1 << window_bits):
+            table.append(table[-1] + self)
+        result = Point.infinity(self.params)
+        mask = (1 << window_bits) - 1
+        digits = []
+        while k:
+            digits.append(k & mask)
+            k >>= window_bits
+        for digit in reversed(digits):
+            for _ in range(window_bits):
+                result = result + result
+            if digit:
+                result = result + table[digit]
+        return result
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Uncompressed fixed-width encoding: tag byte then ``x || y``.
+
+        Tag ``0x00`` marks infinity (coordinates zeroed), ``0x04`` a finite
+        point — mirroring SEC1 framing so sizes are realistic.
+        """
+        width = self.params.q_bytes
+        if self.is_infinity:
+            return b"\x00" + b"\x00" * (2 * width)
+        return b"\x04" + self.x.to_bytes(width, "big") + self.y.to_bytes(width, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, params: TypeAParams) -> "Point":
+        width = params.q_bytes
+        if len(data) != 1 + 2 * width:
+            raise SerializationError(f"point encoding must be {1 + 2 * width} bytes, got {len(data)}")
+        tag = data[0]
+        if tag == 0x00:
+            return cls.infinity(params)
+        if tag != 0x04:
+            raise SerializationError(f"unknown point tag {tag:#x}")
+        x = int.from_bytes(data[1 : 1 + width], "big")
+        y = int.from_bytes(data[1 + width :], "big")
+        return cls(x, y, params)  # membership check on by default
+
+    def to_bytes_compressed(self) -> bytes:
+        """SEC1-style compressed encoding: tag (parity of y) then ``x``.
+
+        Halves every ciphertext's group-element footprint — this is the
+        encoding behind the paper's ``c_A = 2Vk + m`` size estimate.
+        Decompression costs one square root (cheap: ``q ≡ 3 (mod 4)``).
+        """
+        width = self.params.q_bytes
+        if self.is_infinity:
+            return b"\x00" + b"\x00" * width
+        tag = 0x03 if self.y & 1 else 0x02
+        return bytes([tag]) + self.x.to_bytes(width, "big")
+
+    @classmethod
+    def from_bytes_compressed(cls, data: bytes, params: TypeAParams) -> "Point":
+        width = params.q_bytes
+        if len(data) != 1 + width:
+            raise SerializationError(
+                f"compressed point encoding must be {1 + width} bytes, got {len(data)}"
+            )
+        tag = data[0]
+        if tag == 0x00:
+            return cls.infinity(params)
+        if tag not in (0x02, 0x03):
+            raise SerializationError(f"unknown compressed point tag {tag:#x}")
+        x = int.from_bytes(data[1:], "big")
+        q = params.q
+        rhs = (x * x * x + x) % q
+        if not fq_is_square(rhs, q):
+            raise NotOnCurveError(f"x = {x:#x} is not on the curve")
+        y = fq_sqrt(rhs, q)
+        if (y & 1) != (tag == 0x03):
+            y = q - y
+        return cls(x, y, params, check=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_infinity:
+            return "Point(infinity)"
+        return f"Point({self.x:#x}, {self.y:#x})"
+
+
+def hash_to_point(label: bytes, params: TypeAParams) -> Point:
+    """Hash an arbitrary byte string into G1 (try-and-increment + cofactor).
+
+    Counter-mode SHA-256 produces candidate x-coordinates until one lies on
+    the curve; the lifted point is multiplied by the cofactor ``h`` to land
+    in the order-``r`` subgroup.  The even/odd bit of the digest picks the
+    y-root so the map is not biased toward one half-plane.
+    """
+    q = params.q
+    counter = 0
+    while True:
+        digest = hashlib.sha256(b"repro:h2p:" + counter.to_bytes(4, "big") + label).digest()
+        # Widen past q's size with a second block so the candidate is ~uniform.
+        digest2 = hashlib.sha256(b"repro:h2p2:" + counter.to_bytes(4, "big") + label).digest()
+        x = int.from_bytes(digest + digest2, "big") % q
+        rhs = (x * x * x + x) % q
+        if rhs != 0 and fq_is_square(rhs, q):
+            y = fq_sqrt(rhs, q)
+            if digest[0] & 1:
+                y = q - y
+            point = Point(x, y, params, check=False) * params.h
+            if not point.is_infinity:
+                return point
+        counter += 1

@@ -1,0 +1,160 @@
+"""Finite-field arithmetic for the pairing substrate.
+
+Two fields are needed by the Type-A (supersingular, embedding degree 2)
+pairing used throughout this reproduction:
+
+* the prime field ``F_q`` — represented directly as Python ints reduced
+  modulo ``q`` (Python's native bignums are the fastest arbitrary-precision
+  integers available to us), and
+* the quadratic extension ``F_q² = F_q[i] / (i² + 1)`` — valid because the
+  Type-A prime satisfies ``q ≡ 3 (mod 4)``, so ``−1`` is a non-residue.
+
+:class:`Fq2` is a small immutable value class.  The pairing hot loop uses
+its methods directly; they are written to minimise the number of modular
+multiplications (Karatsuba-style 3-mult product, 2-mult squaring).
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+
+__all__ = ["Fq2", "fq_inv", "fq_sqrt", "fq_is_square"]
+
+
+def fq_inv(a: int, q: int) -> int:
+    """Return the inverse of ``a`` modulo the prime ``q``.
+
+    Raises :class:`ZeroDivisionError` when ``a ≡ 0 (mod q)``, matching the
+    behaviour of :func:`pow` with exponent ``-1``.
+    """
+    return pow(a, -1, q)
+
+
+def fq_is_square(a: int, q: int) -> bool:
+    """Euler-criterion quadratic-residue test in ``F_q`` (0 counts as square)."""
+    a %= q
+    if a == 0:
+        return True
+    return pow(a, (q - 1) // 2, q) == 1
+
+
+def fq_sqrt(a: int, q: int) -> int:
+    """Return a square root of ``a`` in ``F_q`` for ``q ≡ 3 (mod 4)``.
+
+    The caller is expected to have verified that ``a`` is a quadratic
+    residue (see :func:`fq_is_square`); a :class:`ParameterError` is raised
+    otherwise so silent corruption cannot propagate into point decoding.
+    """
+    if q % 4 != 3:
+        raise ParameterError(f"fq_sqrt requires q ≡ 3 (mod 4), got q % 4 == {q % 4}")
+    root = pow(a, (q + 1) // 4, q)
+    if (root * root) % q != a % q:
+        raise ParameterError("fq_sqrt called on a non-residue")
+    return root
+
+
+class Fq2:
+    """An element ``a + b·i`` of ``F_q² = F_q[i]/(i²+1)``.
+
+    Instances are immutable; arithmetic returns new objects.  ``q`` is
+    carried on the element — profiling showed the attribute lookup is noise
+    next to the bignum multiplies, and it keeps the API self-contained.
+    """
+
+    __slots__ = ("a", "b", "q")
+
+    def __init__(self, a: int, b: int, q: int):
+        self.a = a % q
+        self.b = b % q
+        self.q = q
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def one(cls, q: int) -> "Fq2":
+        return cls(1, 0, q)
+
+    @classmethod
+    def zero(cls, q: int) -> "Fq2":
+        return cls(0, 0, q)
+
+    # -- predicates --------------------------------------------------------
+
+    def is_one(self) -> bool:
+        return self.a == 1 and self.b == 0
+
+    def is_zero(self) -> bool:
+        return self.a == 0 and self.b == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fq2):
+            return NotImplemented
+        return self.a == other.a and self.b == other.b and self.q == other.q
+
+    def __hash__(self) -> int:
+        return hash((self.a, self.b, self.q))
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "Fq2") -> "Fq2":
+        q = self.q
+        return Fq2(self.a + other.a, self.b + other.b, q)
+
+    def __sub__(self, other: "Fq2") -> "Fq2":
+        q = self.q
+        return Fq2(self.a - other.a, self.b - other.b, q)
+
+    def __neg__(self) -> "Fq2":
+        return Fq2(-self.a, -self.b, self.q)
+
+    def __mul__(self, other: "Fq2") -> "Fq2":
+        # (a + bi)(c + di) = (ac − bd) + ((a+b)(c+d) − ac − bd)·i
+        q = self.q
+        ac = self.a * other.a
+        bd = self.b * other.b
+        cross = (self.a + self.b) * (other.a + other.b) - ac - bd
+        return Fq2(ac - bd, cross, q)
+
+    def square(self) -> "Fq2":
+        # (a + bi)² = (a+b)(a−b) + 2ab·i  — two multiplications.
+        q = self.q
+        a, b = self.a, self.b
+        return Fq2((a + b) * (a - b), 2 * a * b, q)
+
+    def conjugate(self) -> "Fq2":
+        return Fq2(self.a, -self.b, self.q)
+
+    def inverse(self) -> "Fq2":
+        # 1/(a + bi) = (a − bi) / (a² + b²)
+        q = self.q
+        norm = (self.a * self.a + self.b * self.b) % q
+        if norm == 0:
+            raise ZeroDivisionError("inverse of zero in F_q2")
+        inv_norm = pow(norm, -1, q)
+        return Fq2(self.a * inv_norm, -self.b * inv_norm, q)
+
+    def __pow__(self, exponent: int) -> "Fq2":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = Fq2.one(self.q)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    # -- misc ----------------------------------------------------------------
+
+    def to_bytes(self, byte_len: int) -> bytes:
+        """Fixed-width big-endian encoding ``a || b`` (each ``byte_len`` bytes)."""
+        return self.a.to_bytes(byte_len, "big") + self.b.to_bytes(byte_len, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, q: int) -> "Fq2":
+        half = len(data) // 2
+        return cls(int.from_bytes(data[:half], "big"), int.from_bytes(data[half:], "big"), q)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Fq2({self.a:#x}, {self.b:#x})"

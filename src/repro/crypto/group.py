@@ -1,0 +1,146 @@
+"""A charm-crypto-style ``PairingGroup`` facade.
+
+Both P3S crypto schemes (BSW07 CP-ABE and IP08 HVE) are written against
+this facade rather than raw curve/pairing functions, mirroring how the
+paper's prototype is written against jPBC/PBC.  It bundles:
+
+* the chosen :class:`~repro.crypto.params.TypeAParams` set,
+* sampling of uniform Zr scalars, G1 points, and GT elements,
+* hashing into Zr and G1,
+* the pairing and the shared-final-exponentiation multi-pairing,
+* fixed-width serialization for every element type (the source of all
+  byte-size accounting used by the performance models).
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from ..errors import ParameterError
+from .curve import Point, hash_to_point
+from .field import Fq2
+from .hashing import hash_bytes, hash_to_int
+from .pairing import multi_pairing, tate_pairing
+from .params import PARAM_SETS, TypeAParams
+
+__all__ = ["PairingGroup"]
+
+
+class PairingGroup:
+    """One symmetric (Type-1) pairing group ``ê : G1 × G1 → GT``.
+
+    Args:
+        params: a :class:`TypeAParams` instance or the name of a
+            precomputed set (``"TOY"``, ``"TEST"``, ``"PAPER"``).
+    """
+
+    def __init__(self, params: TypeAParams | str = "TOY"):
+        if isinstance(params, str):
+            try:
+                params = PARAM_SETS[params]
+            except KeyError:
+                raise ParameterError(
+                    f"unknown parameter set {params!r}; choose from {sorted(PARAM_SETS)}"
+                ) from None
+        self.params = params
+        self.generator = Point.generator(params)
+        self._gt_generator: Fq2 | None = None
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Prime order ``r`` of G1 and GT."""
+        return self.params.r
+
+    @property
+    def gt_generator(self) -> Fq2:
+        """``ê(g, g)`` — computed once and cached."""
+        if self._gt_generator is None:
+            self._gt_generator = tate_pairing(self.generator, self.generator)
+        return self._gt_generator
+
+    def gt_identity(self) -> Fq2:
+        return Fq2.one(self.params.q)
+
+    # -- sampling ---------------------------------------------------------------
+
+    def random_zr(self, nonzero: bool = True) -> int:
+        """Uniform scalar in ``[0, r)`` (``[1, r)`` when ``nonzero``)."""
+        low = 1 if nonzero else 0
+        while True:
+            value = secrets.randbelow(self.params.r)
+            if value >= low:
+                return value
+
+    def random_g1(self) -> Point:
+        return self.generator * self.random_zr()
+
+    def random_gt(self) -> Fq2:
+        return self.gt_generator ** self.random_zr()
+
+    # -- hashing -------------------------------------------------------------------
+
+    def hash_to_zr(self, domain: str, *parts: bytes) -> int:
+        return hash_to_int(domain, self.params.r, *parts)
+
+    def hash_to_g1(self, label: str | bytes) -> Point:
+        if isinstance(label, str):
+            label = label.encode("utf-8")
+        return hash_to_point(label, self.params)
+
+    # -- pairing ----------------------------------------------------------------------
+
+    def pair(self, p: Point, q: Point) -> Fq2:
+        return tate_pairing(p, q)
+
+    def multi_pair(self, pairs: list[tuple[Point, Point]]) -> Fq2:
+        return multi_pairing(pairs, self.params)
+
+    # -- serialization ------------------------------------------------------------------
+
+    @property
+    def g1_bytes(self) -> int:
+        """Serialized size of a G1 element (uncompressed)."""
+        return 1 + 2 * self.params.q_bytes
+
+    @property
+    def g1_bytes_compressed(self) -> int:
+        """Serialized size of a compressed G1 element."""
+        return 1 + self.params.q_bytes
+
+    @property
+    def gt_bytes(self) -> int:
+        """Serialized size of a GT element."""
+        return 2 * self.params.q_bytes
+
+    @property
+    def zr_bytes(self) -> int:
+        return self.params.r_bytes
+
+    def serialize_g1(self, point: Point) -> bytes:
+        return point.to_bytes()
+
+    def deserialize_g1(self, data: bytes) -> Point:
+        return Point.from_bytes(data, self.params)
+
+    def serialize_g1_compressed(self, point: Point) -> bytes:
+        return point.to_bytes_compressed()
+
+    def deserialize_g1_compressed(self, data: bytes) -> Point:
+        return Point.from_bytes_compressed(data, self.params)
+
+    def serialize_gt(self, element: Fq2) -> bytes:
+        return element.to_bytes(self.params.q_bytes)
+
+    def deserialize_gt(self, data: bytes) -> Fq2:
+        if len(data) != self.gt_bytes:
+            raise ParameterError(f"GT encoding must be {self.gt_bytes} bytes, got {len(data)}")
+        return Fq2.from_bytes(data, self.params.q)
+
+    def gt_to_key(self, element: Fq2, label: str = "gt-kem") -> bytes:
+        """Derive a 32-byte symmetric key from a GT element (KEM step)."""
+        return hash_bytes(label, self.serialize_gt(element))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PairingGroup({self.params.describe()})"

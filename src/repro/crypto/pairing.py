@@ -1,0 +1,176 @@
+"""Modified Tate pairing on Type-A curves (Miller's algorithm).
+
+For the supersingular curve ``E : y² = x³ + x / F_q`` with ``q ≡ 3 (mod 4)``
+the distortion map ``ψ(x, y) = (−x, i·y)`` sends ``E(F_q)`` into
+``E(F_q²) \\ E(F_q)``, giving the *symmetric* ("Type-1") pairing
+
+    ê(P, Q) = f_{r,P}(ψ(Q)) ^ ((q² − 1) / r),   ê : G1 × G1 → GT ⊂ F_q².
+
+Two standard optimisations for even embedding degree are used:
+
+* **Denominator elimination** — vertical-line values lie in the subfield
+  ``F_q`` and are annihilated by the final exponentiation (which contains
+  the factor ``q − 1``), so Miller's loop skips them entirely.
+* **Cheap line evaluation** — a line through points of ``E(F_q)`` with
+  slope ``λ``, evaluated at ``ψ(Q) = (−x_Q, i·y_Q)``, equals
+  ``(λ·(x_Q + x_T) − y_T) + i·y_Q`` — its real part needs only ``F_q``
+  arithmetic and its imaginary part is constant across the whole loop.
+
+:func:`multi_pairing` computes ``Π ê(P_j, Q_j)`` sharing the accumulator
+squaring and the final exponentiation across all pairs — the dominant cost
+of HVE matching, where products of 2·(non-wildcard positions) pairings are
+evaluated (see DESIGN.md §5 for the ablation bench).
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+from .curve import Point
+from .field import Fq2
+from .params import TypeAParams
+
+__all__ = ["tate_pairing", "multi_pairing", "final_exponentiation", "miller_loop"]
+
+
+def _line_real(xt: int, yt: int, lam: int, xq: int, q: int) -> int:
+    """Real part of the line through T (slope lam) evaluated at ψ(Q)."""
+    return (lam * (xq + xt) - yt) % q
+
+
+def miller_loop(p: Point, q_point: Point) -> Fq2:
+    """Evaluate ``f_{r,P}(ψ(Q))`` without the final exponentiation.
+
+    Both inputs must be finite points of ``E(F_q)``.  The result is only
+    meaningful after :func:`final_exponentiation`.
+    """
+    params = p.params
+    if p.is_infinity or q_point.is_infinity:
+        raise ParameterError("miller_loop requires finite points")
+    q = params.q
+    r = params.r
+    xq, yq = q_point.x, q_point.y
+
+    f_a, f_b = 1, 0  # accumulator in F_q2, kept as raw ints for speed
+    xt, yt = p.x, p.y  # running point T
+    t_inf = False  # T hits infinity only at the final add (T = −P), if ever
+
+    for bit in bin(r)[3:]:  # MSB-first, skipping the leading 1
+        # f <- f^2 (complex squaring: (a+b)(a-b), 2ab); the tangent at
+        # infinity contributes nothing, so skip the line once T = O.
+        sq_a = (f_a + f_b) * (f_a - f_b) % q
+        sq_b = 2 * f_a * f_b % q
+        f_a, f_b = sq_a, sq_b
+        if not t_inf:
+            # f <- f * l_{T,T}(ψQ);  T <- 2T
+            lam = (3 * xt * xt + 1) * pow(2 * yt, -1, q) % q
+            line_a = _line_real(xt, yt, lam, xq, q)
+            new_a = (f_a * line_a - f_b * yq) % q
+            f_b = (f_a * yq + f_b * line_a) % q
+            f_a = new_a
+            x3 = (lam * lam - 2 * xt) % q
+            yt = (lam * (xt - x3) - yt) % q
+            xt = x3
+        if bit == "1" and not t_inf:
+            # f <- f * l_{T,P}(ψQ);  T <- T + P
+            if xt == p.x:
+                if (yt + p.y) % q == 0:
+                    # T = −P: vertical line, eliminated by the final
+                    # exponentiation; T becomes the point at infinity.
+                    t_inf = True
+                    continue
+                lam = (3 * xt * xt + 1) * pow(2 * yt, -1, q) % q
+            else:
+                lam = (p.y - yt) * pow(p.x - xt, -1, q) % q
+            line_a = _line_real(xt, yt, lam, xq, q)
+            new_a = (f_a * line_a - f_b * yq) % q
+            f_b = (f_a * yq + f_b * line_a) % q
+            f_a = new_a
+            x3 = (lam * lam - xt - p.x) % q
+            yt = (lam * (xt - x3) - yt) % q
+            xt = x3
+
+    return Fq2(f_a, f_b, q)
+
+
+def final_exponentiation(f: Fq2, params: TypeAParams) -> Fq2:
+    """Raise the Miller value to ``(q² − 1)/r``.
+
+    Split as ``(q − 1) · (q + 1)/r``; the first factor is the cheap
+    Frobenius step ``f̄ / f`` (conjugation is ``f^q`` in ``F_q²``).
+    """
+    easy = f.conjugate() * f.inverse()
+    return easy ** ((params.q + 1) // params.r)
+
+
+def tate_pairing(p: Point, q_point: Point) -> Fq2:
+    """The modified Tate pairing ``ê(P, Q)`` for ``P, Q ∈ G1``.
+
+    Returns the identity of GT when either argument is the point at
+    infinity (the bilinear extension to the full group).
+    """
+    params = p.params
+    if p.is_infinity or q_point.is_infinity:
+        return Fq2.one(params.q)
+    return final_exponentiation(miller_loop(p, q_point), params)
+
+
+def multi_pairing(pairs: list[tuple[Point, Point]], params: TypeAParams) -> Fq2:
+    """Compute ``Π_j ê(P_j, Q_j)`` with shared squaring and one final exp.
+
+    Identity: ``Π_j f_j² · l_j = (Π_j f_j)² · Π_j l_j``, so a single
+    ``F_q²`` accumulator serves every pair; per Miller step we pay one
+    squaring plus one line-multiplication per pair, and the expensive
+    final exponentiation once in total.
+    """
+    # [xt, yt, xp, yp, xq, yq, t_inf] per pair; t_inf flags T = O (only
+    # reachable at the final add step, where the vertical line is
+    # denominator-eliminated).
+    live: list[list[int]] = []
+    q = params.q
+    for p, qp in pairs:
+        if p.params.q != q or qp.params.q != q:
+            raise ParameterError("multi_pairing arguments use mismatched parameters")
+        if p.is_infinity or qp.is_infinity:
+            continue  # contributes the identity
+        live.append([p.x, p.y, p.x, p.y, qp.x, qp.y, 0])
+    if not live:
+        return Fq2.one(q)
+
+    f_a, f_b = 1, 0
+    for bit in bin(params.r)[3:]:
+        sq_a = (f_a + f_b) * (f_a - f_b) % q
+        sq_b = 2 * f_a * f_b % q
+        f_a, f_b = sq_a, sq_b
+        for state in live:
+            if state[6]:
+                continue
+            xt, yt, xp, yp, xq, yq, _ = state
+            lam = (3 * xt * xt + 1) * pow(2 * yt, -1, q) % q
+            line_a = (lam * (xq + xt) - yt) % q
+            new_a = (f_a * line_a - f_b * yq) % q
+            f_b = (f_a * yq + f_b * line_a) % q
+            f_a = new_a
+            x3 = (lam * lam - 2 * xt) % q
+            state[1] = (lam * (xt - x3) - yt) % q
+            state[0] = x3
+        if bit == "1":
+            for state in live:
+                if state[6]:
+                    continue
+                xt, yt, xp, yp, xq, yq, _ = state
+                if xt == xp:
+                    if (yt + yp) % q == 0:
+                        state[6] = 1  # T = −P: vertical line, eliminated
+                        continue
+                    lam = (3 * xt * xt + 1) * pow(2 * yt, -1, q) % q
+                else:
+                    lam = (yp - yt) * pow(xp - xt, -1, q) % q
+                line_a = (lam * (xq + xt) - yt) % q
+                new_a = (f_a * line_a - f_b * yq) % q
+                f_b = (f_a * yq + f_b * line_a) % q
+                f_a = new_a
+                x3 = (lam * lam - xt - xp) % q
+                state[1] = (lam * (xt - x3) - yt) % q
+                state[0] = x3
+
+    return final_exponentiation(Fq2(f_a, f_b, q), params)

@@ -1,0 +1,219 @@
+"""Type-A pairing parameters: generation and precomputed sets.
+
+A Type-A curve (the family used by PBC/jPBC, and therefore by both crypto
+libraries the P3S paper builds on) is the supersingular curve
+
+    E : y² = x³ + x   over F_q,   q ≡ 3 (mod 4),
+
+which has exactly ``q + 1`` points over ``F_q`` and embedding degree 2.
+Parameters are a prime group order ``r`` and a prime ``q = h·r − 1`` for a
+cofactor ``h ≡ 0 (mod 4)`` (which forces ``q ≡ 3 (mod 4)``).  ``G1`` is the
+order-``r`` subgroup of ``E(F_q)`` and ``GT`` the order-``r`` subgroup of
+``F_q²``.
+
+Three precomputed sets are shipped (see DESIGN.md §6):
+
+* ``TOY``    — fast unit tests and examples,
+* ``TEST``   — integration tests,
+* ``PAPER``  — 160-bit ``r`` / 512-bit ``q``, the strength class the paper's
+  prototype used (its CP-ABE security parameter is k = 384..512 bits).
+
+:func:`generate_type_a_params` reproduces how the precomputed sets were
+found, so nothing here is magic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+__all__ = [
+    "TypeAParams",
+    "generate_type_a_params",
+    "is_probable_prime",
+    "TOY",
+    "TEST",
+    "PAPER",
+    "PARAM_SETS",
+]
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def is_probable_prime(n: int, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test with ``rounds`` random bases."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    rng = random.Random(0xC0FFEE ^ n)  # deterministic bases: reproducible checks
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class TypeAParams:
+    """Parameters of one Type-A pairing group.
+
+    Attributes:
+        name: human-readable label (``"TOY"``, ``"PAPER"``, ...).
+        r: prime order of G1 and GT.
+        h: cofactor, ``q = h·r − 1``; multiplying a random curve point by
+           ``h`` lands in G1.
+        q: field prime, ``q ≡ 3 (mod 4)``.
+        gx, gy: affine coordinates of the fixed G1 generator.
+    """
+
+    name: str
+    r: int
+    h: int
+    q: int
+    gx: int
+    gy: int
+
+    def __post_init__(self) -> None:
+        if self.q != self.h * self.r - 1:
+            raise ParameterError("q must equal h*r - 1")
+        if self.q % 4 != 3:
+            raise ParameterError("q must be ≡ 3 (mod 4)")
+
+    @property
+    def q_bytes(self) -> int:
+        """Width of one F_q element in bytes (used by all serializers)."""
+        return (self.q.bit_length() + 7) // 8
+
+    @property
+    def r_bytes(self) -> int:
+        return (self.r.bit_length() + 7) // 8
+
+    def describe(self) -> str:
+        return (
+            f"TypeA[{self.name}] |r|={self.r.bit_length()} bits, "
+            f"|q|={self.q.bit_length()} bits, h={self.h.bit_length()}-bit cofactor"
+        )
+
+
+def _find_generator(q: int, r: int, h: int, seed: int = 1) -> tuple[int, int]:
+    """Deterministically find a generator of the order-``r`` subgroup.
+
+    Walks x-coordinates from ``seed``, lifts to a curve point, multiplies by
+    the cofactor, and returns the first point of exact order ``r``.  Uses
+    only integer arithmetic to avoid importing :mod:`.curve` (which imports
+    this module).
+    """
+    x = seed
+    while True:
+        rhs = (x * x * x + x) % q
+        if pow(rhs, (q - 1) // 2, q) == 1 or rhs == 0:
+            y = pow(rhs, (q + 1) // 4, q)
+            if (y * y) % q == rhs:
+                point = _scalar_mul_affine(x, y, h, q)
+                if point is not None:
+                    px, py = point
+                    if _scalar_mul_affine(px, py, r, q) is None:
+                        return px, py
+        x += 1
+
+
+def _scalar_mul_affine(x: int, y: int, k: int, q: int) -> tuple[int, int] | None:
+    """Minimal affine double-and-add on y² = x³ + x; None is infinity."""
+    result: tuple[int, int] | None = None
+    addend: tuple[int, int] | None = (x, y)
+    while k:
+        if k & 1:
+            result = _point_add_affine(result, addend, q)
+        addend = _point_add_affine(addend, addend, q)
+        k >>= 1
+    return result
+
+
+def _point_add_affine(
+    p1: tuple[int, int] | None, p2: tuple[int, int] | None, q: int
+) -> tuple[int, int] | None:
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    x1, y1 = p1
+    x2, y2 = p2
+    if x1 == x2:
+        if (y1 + y2) % q == 0:
+            return None
+        lam = (3 * x1 * x1 + 1) * pow(2 * y1, -1, q) % q
+    else:
+        lam = (y2 - y1) * pow(x2 - x1, -1, q) % q
+    x3 = (lam * lam - x1 - x2) % q
+    y3 = (lam * (x1 - x3) - y1) % q
+    return x3, y3
+
+
+def generate_type_a_params(
+    r_bits: int, q_bits: int, name: str = "custom", seed: int | None = None
+) -> TypeAParams:
+    """Generate a fresh Type-A parameter set.
+
+    Picks a random ``r_bits``-bit prime ``r`` and scans cofactors
+    ``h ≡ 0 (mod 4)`` of about ``q_bits − r_bits`` bits until
+    ``q = h·r − 1`` is prime.  With ``seed`` set the search is
+    deterministic (used to produce the precomputed sets below).
+    """
+    if q_bits <= r_bits + 3:
+        raise ParameterError("q_bits must exceed r_bits by at least 4 (cofactor of 4)")
+    rng = random.Random(seed)
+    while True:
+        r = rng.getrandbits(r_bits) | (1 << (r_bits - 1)) | 1
+        if not is_probable_prime(r):
+            continue
+        h0 = rng.getrandbits(q_bits - r_bits)
+        h0 = (h0 | (1 << (q_bits - r_bits - 1))) & ~0b11  # top bit set, multiple of 4
+        for delta in range(0, 1 << 16, 4):
+            h = h0 + delta
+            q = h * r - 1
+            if q.bit_length() != q_bits:
+                continue
+            if q % 4 == 3 and is_probable_prime(q):
+                gx, gy = _find_generator(q, r, h)
+                return TypeAParams(name=name, r=r, h=h, q=q, gx=gx, gy=gy)
+
+
+# ---------------------------------------------------------------------------
+# Precomputed sets — produced by generate_type_a_params(..., seed=...); see
+# tests/crypto/test_params.py which re-validates every invariant.
+# ---------------------------------------------------------------------------
+
+def _make(name: str, r_bits: int, q_bits: int, seed: int) -> TypeAParams:
+    params = generate_type_a_params(r_bits, q_bits, name=name, seed=seed)
+    return params
+
+
+# Generating at import time keeps the constants honest and costs little:
+# the deterministic seeds below were chosen once; Miller-Rabin on the three
+# sets takes a few milliseconds.
+TOY = _make("TOY", r_bits=64, q_bits=160, seed=2012)
+TEST = _make("TEST", r_bits=112, q_bits=256, seed=2012)
+PAPER = _make("PAPER", r_bits=160, q_bits=512, seed=2012)
+
+PARAM_SETS = {"TOY": TOY, "TEST": TEST, "PAPER": PAPER}

@@ -1,0 +1,109 @@
+"""Exception hierarchy for the P3S reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subsystems define
+narrower classes here rather than in their own modules so that the
+hierarchy is visible in one place.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+# --------------------------------------------------------------------------
+# Cryptographic substrate
+# --------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for failures in the cryptographic substrate."""
+
+
+class ParameterError(CryptoError):
+    """Invalid or inconsistent cryptographic parameters."""
+
+
+class NotOnCurveError(CryptoError):
+    """A point failed curve-membership validation."""
+
+
+class DecryptionError(CryptoError):
+    """Decryption failed (wrong key, corrupted ciphertext, failed MAC)."""
+
+
+class IntegrityError(DecryptionError):
+    """Authenticated decryption failed its integrity check."""
+
+
+class SerializationError(CryptoError):
+    """Malformed serialized cryptographic object."""
+
+
+# --------------------------------------------------------------------------
+# ABE / PBE schemes
+# --------------------------------------------------------------------------
+
+class PolicyError(ReproError):
+    """Malformed access-policy expression or policy tree."""
+
+
+class PolicyNotSatisfiedError(DecryptionError):
+    """The attribute set does not satisfy the ciphertext policy."""
+
+
+class PredicateMismatchError(DecryptionError):
+    """A PBE token did not match the ciphertext's attribute vector."""
+
+
+class SchemaError(ReproError):
+    """Metadata or predicate violates the registered metadata schema."""
+
+
+# --------------------------------------------------------------------------
+# Network / messaging substrate
+# --------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class ChannelClosedError(NetworkError):
+    """Operation on a closed secure channel."""
+
+
+class RoutingError(NetworkError):
+    """No route / unknown host in the simulated network."""
+
+
+class BrokerError(ReproError):
+    """Mini-JMS broker protocol violation."""
+
+
+# --------------------------------------------------------------------------
+# P3S middleware
+# --------------------------------------------------------------------------
+
+class P3SError(ReproError):
+    """Base class for P3S protocol failures."""
+
+
+class RegistrationError(P3SError):
+    """Participant registration with the ARA failed."""
+
+
+class CertificateError(P3SError):
+    """Invalid, expired, or wrong-role participant certificate."""
+
+
+class TokenRequestError(P3SError):
+    """PBE-TS rejected a token request."""
+
+
+class RetrievalError(P3SError):
+    """Repository Server could not satisfy a payload retrieval."""
+
+
+class ItemExpiredError(RetrievalError):
+    """The requested item was deleted by TTL garbage collection."""

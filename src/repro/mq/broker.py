@@ -1,0 +1,130 @@
+"""A topic-based message broker — the ActiveMQ stand-in.
+
+The paper's prototype builds the Dissemination Server "by extending the
+AMQ broker" (§5); here :class:`repro.core.ds.DisseminationServer` extends
+this class the same way.  Scope is the slice of JMS that P3S exercises:
+
+* client connections (over the TLS-like channel layer),
+* durable topic subscriptions,
+* publish with fan-out to all current subscribers,
+* per-message acknowledgements and delivery accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+from ..errors import BrokerError
+from ..net.channel import SecureChannelLayer
+from ..net.network import Host, Message
+from . import messages as frames
+from .messages import JmsFrame
+
+__all__ = ["Broker"]
+
+
+class Broker:
+    """The broker process on one host.
+
+    Subclasses may override :meth:`on_publish` (used by the P3S DS to
+    split metadata fan-out from payload forwarding) and
+    :meth:`on_connect`.
+    """
+
+    def __init__(self, host: Host):
+        self.host = host
+        self.channel = SecureChannelLayer(host)
+        self.sim = host.network.sim
+        self.subscriptions: dict[str, list[str]] = defaultdict(list)
+        self.connected_clients: set[str] = set()
+        self._message_ids = itertools.count(1)
+        self.delivered_count = 0
+        self.acked_count = 0
+        self.published_count = 0
+        self._started = False
+        self.crashed = False
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.sim.process(self._serve())
+
+    # -- broker loop ----------------------------------------------------------
+
+    def _serve(self):
+        while True:
+            src, message = yield self.channel.receive()
+            if self.crashed:
+                continue  # a crashed broker loses in-flight frames
+            frame = message.payload
+            if message.msg_type == frames.CONNECT:
+                self.on_connect(src, frame)
+            elif message.msg_type == frames.SUBSCRIBE:
+                self._subscribe(src, frame.topic)
+            elif message.msg_type == frames.UNSUBSCRIBE:
+                self._unsubscribe(src, frame.topic)
+            elif message.msg_type == frames.PUBLISH:
+                self.published_count += 1
+                self.on_publish(src, frame)
+            elif message.msg_type == frames.ACK:
+                self.acked_count += 1
+            # unknown frames are dropped, as AMQ does for bad destinations
+
+    # -- overridable behaviour ----------------------------------------------------
+
+    def on_connect(self, src: str, frame: JmsFrame) -> None:
+        self.connected_clients.add(src)
+
+    def on_publish(self, src: str, frame: JmsFrame) -> None:
+        """Default JMS behaviour: fan the frame out to all topic subscribers."""
+        self.fan_out(frame.topic, frame)
+
+    # -- primitives ------------------------------------------------------------------
+
+    def _subscribe(self, client: str, topic: str) -> None:
+        if client not in self.connected_clients:
+            raise BrokerError(f"subscribe from unconnected client {client!r}")
+        if client not in self.subscriptions[topic]:
+            self.subscriptions[topic].append(client)
+
+    def _unsubscribe(self, client: str, topic: str) -> None:
+        if client in self.subscriptions[topic]:
+            self.subscriptions[topic].remove(client)
+
+    def fan_out(self, topic: str, frame: JmsFrame) -> None:
+        """Deliver ``frame`` to every subscriber of ``topic``."""
+        delivery = JmsFrame(
+            topic=topic,
+            body=frame.body,
+            body_size=frame.body_size,
+            message_id=next(self._message_ids),
+            headers=dict(frame.headers),
+        )
+        for client in self.subscriptions[topic]:
+            self.deliver_to(client, delivery)
+
+    def deliver_to(self, client: str, frame: JmsFrame) -> None:
+        self.delivered_count += 1
+        self.channel.send(client, frames.DELIVER, frame, frame.wire_size)
+
+    def subscriber_count(self, topic: str) -> int:
+        return len(self.subscriptions[topic])
+
+    # -- crash / restart (paper §6.1 robustness discussion) --------------------
+
+    def crash(self) -> None:
+        """Simulate a broker crash: drop frames, forget volatile state."""
+        self.crashed = True
+        self.subscriptions.clear()
+        self.connected_clients.clear()
+
+    def restart(self) -> None:
+        """Come back up; "a restarted DS needs to wait for subscribers and
+        publishers to (re)register" (§6.1)."""
+        self.crashed = False

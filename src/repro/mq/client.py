@@ -1,0 +1,136 @@
+"""JMS-flavoured client API for the mini broker.
+
+The paper keeps "the top level JMS interface, so that existing JMS
+compliant publishers and subscribers can take advantage of P3S's privacy
+preserving properties without code change" (§5).  This module provides
+that JMS-shaped surface — connection / session / producer / consumer with
+message listeners — and the P3S client libraries in :mod:`repro.core`
+plug in beneath it.
+
+A connection rides on an :class:`~repro.net.rpc.RpcEndpoint` rather than
+owning the host's inbox: P3S clients multiplex JMS deliveries (encrypted
+metadata) and request-response traffic (token requests, retrievals) over
+the same host, exactly as the prototype multiplexes JMS and web-service
+calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import BrokerError
+from ..net.channel import SecureChannelLayer
+from ..net.network import Host
+from ..net.rpc import RpcEndpoint
+from . import messages as frames
+from .messages import JmsFrame
+
+__all__ = ["JmsConnection", "JmsSession", "MessageProducer", "MessageConsumer"]
+
+
+class JmsConnection:
+    """A client's connection to one broker."""
+
+    def __init__(self, host: Host, broker_name: str, endpoint: RpcEndpoint | None = None):
+        self.host = host
+        self.broker_name = broker_name
+        self.endpoint = endpoint or RpcEndpoint(SecureChannelLayer(host))
+        self.sim = host.network.sim
+        self._listeners: dict[str, list[Callable[[JmsFrame], None]]] = {}
+        self._started = False
+
+    @property
+    def client_name(self) -> str:
+        return self.host.name
+
+    def start(self) -> None:
+        """CONNECT to the broker and begin dispatching deliveries."""
+        if self._started:
+            return
+        self._started = True
+        self.endpoint.serve(frames.DELIVER, self._on_deliver)
+        self.endpoint.start()
+        self.endpoint.cast(self.broker_name, frames.CONNECT, JmsFrame(), 64)
+
+    def create_session(self) -> "JmsSession":
+        if not self._started:
+            raise BrokerError("connection not started")
+        return JmsSession(self)
+
+    def reconnect(self) -> None:
+        """Re-register with the broker after it restarted (§6.1).
+
+        Re-sends CONNECT plus a SUBSCRIBE for every topic this client
+        listens to; the broker rebuilt its registry from scratch.
+        """
+        if not self._started:
+            raise BrokerError("connection not started")
+        self.endpoint.cast(self.broker_name, frames.CONNECT, JmsFrame(), 64)
+        for topic in self._listeners:
+            self.endpoint.cast(self.broker_name, frames.SUBSCRIBE, JmsFrame(topic=topic), 64)
+
+    # -- internals -------------------------------------------------------------
+
+    def _on_deliver(self, src: str, message) -> None:
+        frame: JmsFrame = message.payload
+        for listener in self._listeners.get(frame.topic, []):
+            listener(frame)
+
+    def _register_listener(self, topic: str, listener: Callable[[JmsFrame], None]) -> None:
+        self._listeners.setdefault(topic, []).append(listener)
+        self.endpoint.cast(self.broker_name, frames.SUBSCRIBE, JmsFrame(topic=topic), 64)
+
+    def _send_publish(self, frame: JmsFrame) -> None:
+        self.endpoint.cast(self.broker_name, frames.PUBLISH, frame, frame.wire_size)
+
+    def _send_ack(self, frame: JmsFrame) -> None:
+        self.endpoint.cast(
+            self.broker_name, frames.ACK, JmsFrame(message_id=frame.message_id), 32
+        )
+
+
+class JmsSession:
+    """Factory for producers and consumers (JMS Session analogue)."""
+
+    def __init__(self, connection: JmsConnection):
+        self.connection = connection
+
+    def create_producer(self, topic: str) -> "MessageProducer":
+        return MessageProducer(self.connection, topic)
+
+    def create_consumer(self, topic: str) -> "MessageConsumer":
+        return MessageConsumer(self.connection, topic)
+
+
+class MessageProducer:
+    """Publishes opaque bodies to one topic."""
+
+    def __init__(self, connection: JmsConnection, topic: str):
+        self.connection = connection
+        self.topic = topic
+
+    def send(self, body: Any, body_size: int, headers: dict[str, Any] | None = None) -> None:
+        frame = JmsFrame(
+            topic=self.topic, body=body, body_size=body_size, headers=headers or {}
+        )
+        self.connection._send_publish(frame)
+
+
+class MessageConsumer:
+    """Receives deliveries for one topic via a message listener."""
+
+    def __init__(self, connection: JmsConnection, topic: str):
+        self.connection = connection
+        self.topic = topic
+        self._listener: Callable[[JmsFrame], None] | None = None
+
+    def set_message_listener(self, listener: Callable[[JmsFrame], None]) -> None:
+        if self._listener is not None:
+            raise BrokerError("consumer already has a listener")
+        self._listener = listener
+        self.connection._register_listener(self.topic, self._on_frame)
+
+    def _on_frame(self, frame: JmsFrame) -> None:
+        self.connection._send_ack(frame)
+        if self._listener is not None:
+            self._listener(frame)

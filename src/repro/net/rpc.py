@@ -1,0 +1,117 @@
+"""Request-response helper over the simulated network.
+
+P3S is "request-response" at several points (token requests to the
+PBE-TS, payload retrievals from the RS).  :class:`RpcEndpoint` gives a
+host:
+
+* ``call(dst, msg_type, payload, size)`` — returns an event that fires
+  with the response payload;
+* ``serve(msg_type, handler)`` — registers a handler; handlers may return
+  a value directly or a generator (run as a simulator process) for
+  handlers that themselves need simulated time;
+* a dispatch process that must be started once via ``start()``.
+
+Handlers receive ``(src, request_message)`` and their return value is
+``(payload, size_bytes)`` for the response frame.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from ..errors import NetworkError
+from .channel import SecureChannelLayer
+from .simulator import Event
+
+__all__ = ["RpcEndpoint"]
+
+
+class RpcEndpoint:
+    """RPC and one-way messaging on top of a :class:`SecureChannelLayer`."""
+
+    _correlation = itertools.count(1)
+
+    def __init__(self, channel: SecureChannelLayer):
+        self.channel = channel
+        self.sim = channel.host.network.sim
+        self._handlers: dict[str, Callable] = {}
+        self._pending: dict[int, Event] = {}
+        self._started = False
+
+    @property
+    def name(self) -> str:
+        return self.channel.host.name
+
+    # -- server side ---------------------------------------------------------
+
+    def serve(self, msg_type: str, handler: Callable) -> None:
+        if msg_type in self._handlers:
+            raise NetworkError(f"handler for {msg_type!r} already registered")
+        self._handlers[msg_type] = handler
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.sim.process(self._dispatch_loop())
+
+    # -- client side -----------------------------------------------------------
+
+    def call(self, dst: str, msg_type: str, payload: Any, size_bytes: int) -> Event:
+        """Send a request; the returned event fires with the response payload."""
+        correlation = next(self._correlation)
+        reply = self.sim.event()
+        self._pending[correlation] = reply
+        self.channel.send(
+            dst,
+            msg_type,
+            payload,
+            size_bytes,
+            headers={"rpc": "request", "corr": correlation, "reply_to": self.name},
+        )
+        return reply
+
+    def cast(self, dst: str, msg_type: str, payload: Any, size_bytes: int) -> float:
+        """One-way message (no response expected)."""
+        return self.channel.send(dst, msg_type, payload, size_bytes)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch_loop(self):
+        while True:
+            src, message = yield self.channel.receive()
+            kind = message.headers.get("rpc")
+            if kind == "response":
+                self._complete(message)
+            elif kind == "request":
+                self.sim.process(self._handle_request(src, message))
+            else:
+                handler = self._handlers.get(message.msg_type)
+                if handler is None:
+                    continue  # unrouted one-way message; drop
+                result = handler(src, message)
+                if hasattr(result, "send"):  # generator handler
+                    self.sim.process(result)
+
+    def _complete(self, message) -> None:
+        correlation = message.headers.get("corr")
+        reply = self._pending.pop(correlation, None)
+        if reply is not None and not reply.triggered:
+            reply.succeed(message.payload)
+
+    def _handle_request(self, src: str, message):
+        handler = self._handlers.get(message.msg_type)
+        if handler is None:
+            return  # unknown RPC; P3S services ignore unroutable requests
+        result = handler(src, message)
+        if hasattr(result, "send"):  # generator handler: run inside this process
+            result = yield self.sim.process(result)
+        payload, size_bytes = result
+        self.channel.send(
+            message.headers.get("reply_to", src),
+            message.msg_type + ":reply",
+            payload,
+            size_bytes,
+            headers={"rpc": "response", "corr": message.headers.get("corr")},
+        )

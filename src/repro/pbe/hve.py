@@ -1,0 +1,233 @@
+"""Hidden-Vector Encryption over prime-order groups (Iovino-Persiano '08).
+
+This is P3S's predicate-based encryption (paper §3.1 and [7, 10]): the
+publisher encrypts under an *attribute vector* ``x ∈ {0,1}^n``; the
+subscriber holds a *token* for an *interest vector* ``y ∈ {0,1,*}^n``;
+querying the ciphertext with the token recovers the message iff
+``match(x, y) = 1`` (equality on every non-wildcard position).
+
+Construction (notation follows [7]):
+
+* ``Setup(n)`` — master secret ``y₀`` and, per position ``i``, secrets
+  ``t_i, v_i, r_i, m_i``; public key ``Y = ê(g,g)^{y₀}`` and
+  ``T_i = g^{t_i}, V_i = g^{v_i}, R_i = g^{r_i}, M_i = g^{m_i}``.
+* ``Encrypt(x)`` — pick ``s`` and per-position ``s_i``; for bit 1 emit
+  ``X_i = T_i^{s−s_i}, W_i = V_i^{s_i}``; for bit 0 emit
+  ``X_i = R_i^{s−s_i}, W_i = M_i^{s_i}``.
+* ``GenToken(y)`` — additively share ``y₀ = Σ a_i`` over the non-wildcard
+  positions ``S``; for ``y_i = 1`` emit ``Y_i = g^{a_i/t_i}, L_i = g^{a_i/v_i}``,
+  for ``y_i = 0`` emit ``Y_i = g^{a_i/r_i}, L_i = g^{a_i/m_i}``.
+* ``Query`` — ``Z = Π_{i∈S} ê(X_i, Y_i)·ê(W_i, L_i)``; on a match every
+  factor is ``ê(g,g)^{a_i·s}`` so ``Z = Y^s``; any mismatched position
+  contributes a random-looking factor.
+
+**Message transport.** [7] is a predicate encryption; P3S uses it to carry
+a GUID.  We make the match test decisive by using ``Y^s`` as a KEM: the
+payload rides in an authenticated :class:`SecretBox` keyed by
+``KDF(Y^s)``, so ``Query`` either returns the exact payload or ``None``
+(MAC failure ⇒ no match).  This mirrors how any deployment would carry
+bytes and adds only constant overhead.
+
+Security properties (paper §3.1): semantic security and collusion
+resistance hold for [7]'s construction; **token security does not** — a
+party holding a token that can also encrypt chosen metadata can probe the
+interest vector (see :mod:`repro.privacy.analysis`, which implements
+exactly that attack).
+
+The per-token freshness of the additive shares ``a_i`` provides collusion
+resistance: components from different tokens use incompatible sharings of
+``y₀``, so mixing them yields garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.curve import Point
+from ..crypto.group import PairingGroup
+from ..crypto.hashing import kdf
+from ..crypto.symmetric import SecretBox
+from ..errors import DecryptionError, ParameterError
+
+__all__ = ["HVE", "HVEPublicKey", "HVEMasterKey", "HVEToken", "HVECiphertext", "WILDCARD"]
+
+WILDCARD = None  # interest-vector positions use None for '*'
+
+
+@dataclass(frozen=True)
+class HVEPublicKey:
+    """Public parameters for vector length ``n``."""
+
+    n: int
+    y_gt: object  # Y = ê(g,g)^{y₀}  (Fq2)
+    t: tuple[Point, ...]
+    v: tuple[Point, ...]
+    r: tuple[Point, ...]
+    m: tuple[Point, ...]
+
+
+@dataclass(frozen=True)
+class HVEMasterKey:
+    """Master secret — held only by the PBE Token Server."""
+
+    n: int
+    y0: int
+    t: tuple[int, ...]
+    v: tuple[int, ...]
+    r: tuple[int, ...]
+    m: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class HVEToken:
+    """Token for one interest vector.
+
+    ``positions`` lists the non-wildcard indices; ``components[i]`` is the
+    pair ``(Y_i, L_i)`` for ``positions[i]``.  The interest vector itself
+    is *not* stored — tokens do not reveal it directly (though see the
+    token-security caveat in the module docstring).
+    """
+
+    n: int
+    positions: tuple[int, ...]
+    components: tuple[tuple[Point, Point], ...]
+
+
+@dataclass(frozen=True)
+class HVECiphertext:
+    """Encryption of a byte payload under attribute vector ``x``."""
+
+    n: int
+    x_components: tuple[Point, ...]  # X_i
+    w_components: tuple[Point, ...]  # W_i
+    sealed: bytes  # SecretBox_{KDF(Y^s)}(payload)
+
+
+class HVE:
+    """The IP08 scheme over a :class:`PairingGroup`."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+
+    # -- Setup ------------------------------------------------------------
+
+    def setup(self, n: int) -> tuple[HVEPublicKey, HVEMasterKey]:
+        if n < 1:
+            raise ParameterError("vector length must be >= 1")
+        group = self.group
+        y0 = group.random_zr()
+        t = tuple(group.random_zr() for _ in range(n))
+        v = tuple(group.random_zr() for _ in range(n))
+        r = tuple(group.random_zr() for _ in range(n))
+        m = tuple(group.random_zr() for _ in range(n))
+        g = group.generator
+        public = HVEPublicKey(
+            n=n,
+            y_gt=group.gt_generator**y0,
+            t=tuple(g * e for e in t),
+            v=tuple(g * e for e in v),
+            r=tuple(g * e for e in r),
+            m=tuple(g * e for e in m),
+        )
+        return public, HVEMasterKey(n=n, y0=y0, t=t, v=v, r=r, m=m)
+
+    # -- Encrypt -------------------------------------------------------------
+
+    def encrypt(self, public: HVEPublicKey, x: list[int], payload: bytes) -> HVECiphertext:
+        """Encrypt ``payload`` under attribute vector ``x ∈ {0,1}^n``."""
+        self._check_attribute_vector(public.n, x)
+        group = self.group
+        order = group.order
+        s = group.random_zr()
+        x_components: list[Point] = []
+        w_components: list[Point] = []
+        for i, bit in enumerate(x):
+            s_i = group.random_zr(nonzero=False)
+            if bit == 1:
+                x_components.append(public.t[i] * ((s - s_i) % order))
+                w_components.append(public.v[i] * s_i)
+            else:
+                x_components.append(public.r[i] * ((s - s_i) % order))
+                w_components.append(public.m[i] * s_i)
+        key = kdf(group.serialize_gt(public.y_gt**s), "hve-kem")
+        sealed = SecretBox(key).seal(payload)
+        return HVECiphertext(
+            n=public.n,
+            x_components=tuple(x_components),
+            w_components=tuple(w_components),
+            sealed=sealed,
+        )
+
+    # -- GenToken ----------------------------------------------------------------
+
+    def gen_token(self, master: HVEMasterKey, y: list[int | None]) -> HVEToken:
+        """Token for interest vector ``y ∈ {0,1,*}^n`` (``None`` = wildcard).
+
+        At least one position must be non-wildcard (the all-wildcard token
+        would trivially decrypt everything; the paper assumes honest
+        clients never subscribe to everything, and the scheme cannot share
+        ``y₀`` over zero positions).
+        """
+        if len(y) != master.n:
+            raise ParameterError(f"interest vector length {len(y)} != n={master.n}")
+        positions = tuple(i for i, value in enumerate(y) if value is not None)
+        if not positions:
+            raise ParameterError("all-wildcard interest vectors are not supported")
+        for i in positions:
+            if y[i] not in (0, 1):
+                raise ParameterError(f"interest position {i} must be 0, 1 or wildcard")
+        group = self.group
+        order = group.order
+        # additive sharing of y₀ over the non-wildcard positions
+        shares = [group.random_zr(nonzero=False) for _ in positions[:-1]]
+        shares.append((master.y0 - sum(shares)) % order)
+        g = group.generator
+        components: list[tuple[Point, Point]] = []
+        for i, a_i in zip(positions, shares):
+            if y[i] == 1:
+                first = g * (a_i * pow(master.t[i], -1, order) % order)
+                second = g * (a_i * pow(master.v[i], -1, order) % order)
+            else:
+                first = g * (a_i * pow(master.r[i], -1, order) % order)
+                second = g * (a_i * pow(master.m[i], -1, order) % order)
+            components.append((first, second))
+        return HVEToken(n=master.n, positions=positions, components=tuple(components))
+
+    # -- Query ----------------------------------------------------------------------
+
+    def query(self, token: HVEToken, ciphertext: HVECiphertext) -> bytes | None:
+        """Return the payload iff the token's predicate matches, else ``None``.
+
+        The pairing product is evaluated with a shared final
+        exponentiation (:meth:`PairingGroup.multi_pair`) — the ablation
+        bench ``bench_ablation_multipairing`` quantifies the saving.
+        """
+        candidate_key = self._query_key(token, ciphertext)
+        try:
+            return SecretBox(candidate_key).open(ciphertext.sealed)
+        except DecryptionError:
+            return None
+
+    def matches(self, token: HVEToken, ciphertext: HVECiphertext) -> bool:
+        """Predicate-only form of :meth:`query`."""
+        return self.query(token, ciphertext) is not None
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _query_key(self, token: HVEToken, ciphertext: HVECiphertext) -> bytes:
+        if token.n != ciphertext.n:
+            raise ParameterError("token and ciphertext vector lengths differ")
+        pairs: list[tuple[Point, Point]] = []
+        for i, (y_i, l_i) in zip(token.positions, token.components):
+            pairs.append((ciphertext.x_components[i], y_i))
+            pairs.append((ciphertext.w_components[i], l_i))
+        z = self.group.multi_pair(pairs)
+        return kdf(self.group.serialize_gt(z), "hve-kem")
+
+    @staticmethod
+    def _check_attribute_vector(n: int, x: list[int]) -> None:
+        if len(x) != n:
+            raise ParameterError(f"attribute vector length {len(x)} != n={n}")
+        for i, bit in enumerate(x):
+            if bit not in (0, 1):
+                raise ParameterError(f"attribute position {i} must be 0 or 1 (got {bit!r})")

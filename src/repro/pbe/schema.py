@@ -1,0 +1,211 @@
+"""Metadata space, published metadata, and subscriber interests.
+
+The P3S functional model (paper §2): matching uses "metadata associated
+with published items, described as attribute-value pairs chosen from a
+fixed, predefined space of attributes and their values (metadata space)";
+"subscriber interest is expressed as a conjunctive predicate over the
+attribute-value pairs", with ``*`` wildcards allowed per attribute.
+
+:class:`MetadataSchema` is the machine-readable description of that space
+(it is what the ARA hands to publishers and subscribers at registration —
+"the PBE metadata format, i.e. field/value information", §4.3).  It maps:
+
+* full metadata dicts → HVE attribute vectors ``x ∈ {0,1}^n``,
+* :class:`Interest` predicates → HVE interest vectors ``y ∈ {0,1,*}^n``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import SchemaError
+from .encoding import bits_needed, encode_value, wildcard_bits
+
+__all__ = ["ANY", "AttributeSpec", "MetadataSchema", "Interest"]
+
+
+class _Any:
+    """Sentinel for a wildcard value in an interest predicate."""
+
+    _instance: "_Any | None" = None
+
+    def __new__(cls) -> "_Any":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+ANY = _Any()
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute of the metadata space: a name and its value domain."""
+
+    name: str
+    values: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) < 2:
+            raise SchemaError(f"attribute {self.name!r} needs at least 2 values")
+        if len(set(self.values)) != len(self.values):
+            raise SchemaError(f"attribute {self.name!r} has duplicate values")
+
+    @property
+    def bits(self) -> int:
+        return bits_needed(len(self.values))
+
+    def index_of(self, value: str) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise SchemaError(
+                f"value {value!r} not in domain of attribute {self.name!r}: {self.values}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Interest:
+    """A conjunctive predicate over the metadata space.
+
+    Maps attribute name → required value, or :data:`ANY` for a wildcard.
+    Attributes omitted from ``constraints`` default to :data:`ANY`.
+    """
+
+    constraints: dict[str, object] = field(default_factory=dict)
+
+    def is_all_wildcard(self) -> bool:
+        return all(value is ANY for value in self.constraints.values()) or not self.constraints
+
+    def matches(self, metadata: dict[str, str]) -> bool:
+        """Plaintext evaluation (the baseline broker and tests use this)."""
+        for name, wanted in self.constraints.items():
+            if wanted is ANY:
+                continue
+            if metadata.get(name) != wanted:
+                return False
+        return True
+
+    def describe(self) -> str:
+        if not self.constraints:
+            return "<match-all>"
+        parts = [
+            f"{name}={'*' if value is ANY else value}"
+            for name, value in sorted(self.constraints.items())
+        ]
+        return " AND ".join(parts)
+
+    def to_json(self) -> str:
+        """Wire form for token requests ('*' stands for :data:`ANY`)."""
+        return json.dumps(
+            {name: ("*" if value is ANY else value) for name, value in self.constraints.items()},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Interest":
+        try:
+            raw = json.loads(text)
+        except ValueError as exc:
+            raise SchemaError(f"malformed interest JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise SchemaError("interest JSON must be an object")
+        return cls({name: (ANY if value == "*" else value) for name, value in raw.items()})
+
+
+class MetadataSchema:
+    """An ordered, fixed metadata space.
+
+    Args:
+        attributes: the attribute specs, in canonical order (the order
+            defines bit positions in the HVE vectors and must be shared by
+            all participants — the ARA distributes it).
+    """
+
+    def __init__(self, attributes: list[AttributeSpec]):
+        if not attributes:
+            raise SchemaError("metadata schema needs at least one attribute")
+        names = [spec.name for spec in attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate attribute names in schema")
+        self.attributes = tuple(attributes)
+        self._by_name = {spec.name: spec for spec in attributes}
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def vector_length(self) -> int:
+        """Total HVE vector length n = Σ bits(attribute)."""
+        return sum(spec.bits for spec in self.attributes)
+
+    def attribute(self, name: str) -> AttributeSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    # -- encoding ----------------------------------------------------------------
+
+    def encode_metadata(self, metadata: dict[str, str]) -> list[int]:
+        """Full metadata → attribute vector ``x ∈ {0,1}^n``.
+
+        Every schema attribute must be present: published items carry a
+        complete description (the paper's model has the publisher choose
+        values from the fixed space for each attribute).
+        """
+        unknown = set(metadata) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"metadata has attributes outside the schema: {sorted(unknown)}")
+        bits: list[int] = []
+        for spec in self.attributes:
+            if spec.name not in metadata:
+                raise SchemaError(f"metadata missing attribute {spec.name!r}")
+            bits.extend(encode_value(spec.index_of(metadata[spec.name]), len(spec.values)))
+        return bits
+
+    def encode_interest(self, interest: Interest) -> list[int | None]:
+        """Interest → interest vector ``y ∈ {0,1,*}^n`` (None = wildcard)."""
+        unknown = set(interest.constraints) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"interest has attributes outside the schema: {sorted(unknown)}")
+        if interest.is_all_wildcard():
+            raise SchemaError(
+                "all-wildcard interests are rejected (paper §2: honest clients "
+                "do not subscribe with wildcards for all attributes)"
+            )
+        bits: list[int | None] = []
+        for spec in self.attributes:
+            wanted = interest.constraints.get(spec.name, ANY)
+            if wanted is ANY:
+                bits.extend(wildcard_bits(len(spec.values)))
+            else:
+                bits.extend(encode_value(spec.index_of(wanted), len(spec.values)))
+        return bits
+
+    # -- (de)serialization — the ARA ships the schema to clients -----------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [{"name": spec.name, "values": list(spec.values)} for spec in self.attributes]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetadataSchema":
+        try:
+            raw = json.loads(text)
+            specs = [AttributeSpec(entry["name"], tuple(entry["values"])) for entry in raw]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SchemaError(f"malformed schema JSON: {exc}") from exc
+        return cls(specs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetadataSchema):
+            return NotImplemented
+        return self.attributes == other.attributes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetadataSchema({[spec.name for spec in self.attributes]}, n={self.vector_length})"

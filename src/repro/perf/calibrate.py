@@ -1,0 +1,150 @@
+"""Calibration: measure the model constants from *our* primitives.
+
+The paper feeds its analytic models "parameter values obtained from the
+current prototype".  This module does the same against this repository's
+own crypto: it times PBE encrypt/match/token-gen, CP-ABE encrypt/decrypt
+and PKE operations, and takes exact ciphertext sizes from the real
+serializers.  The results plug into :class:`~repro.perf.params.ModelParams`
+(for the analytic models) and
+:class:`~repro.core.config.ComputeTimings` (for end-to-end simulations),
+making the whole reproduction self-consistent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..abe.hybrid import HybridCPABE
+from ..abe.serialize import serialize_hybrid
+from ..core.config import ComputeTimings
+from ..crypto.group import PairingGroup
+from ..crypto.pke import PKEKeyPair
+from ..pbe.hve import HVE
+from ..pbe.serialize import hve_token_size, serialize_hve_ciphertext
+from .params import ModelParams
+
+__all__ = ["CalibrationResult", "calibrate"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured constants for one parameter set / metadata-space shape."""
+
+    param_set: str
+    vector_bits: int
+    policy_attributes: int
+    pairing_s: float
+    pbe_encrypt_s: float
+    pbe_match_s: float
+    pbe_token_gen_s: float
+    cpabe_encrypt_s: float
+    cpabe_decrypt_s: float
+    pke_op_s: float
+    encrypted_metadata_bytes: int
+    cpabe_overhead_bytes: int
+    token_bytes: int
+
+    def as_model_params(self, base: ModelParams | None = None) -> ModelParams:
+        """Table 1 with our measured values substituted."""
+        base = base or ModelParams()
+        return base.with_(
+            pbe_encrypt_s=self.pbe_encrypt_s,
+            pbe_match_s=self.pbe_match_s,
+            cpabe_encrypt_s=self.cpabe_encrypt_s,
+            cpabe_decrypt_s=self.cpabe_decrypt_s,
+            encrypted_metadata_bytes=self.encrypted_metadata_bytes,
+        )
+
+    def as_compute_timings(self) -> ComputeTimings:
+        """Timings for end-to-end simulations."""
+        return ComputeTimings(
+            pbe_encrypt=self.pbe_encrypt_s,
+            pbe_match=self.pbe_match_s,
+            pbe_token_gen=self.pbe_token_gen_s,
+            cpabe_encrypt=self.cpabe_encrypt_s,
+            cpabe_decrypt=self.cpabe_decrypt_s,
+            pke_op=self.pke_op_s,
+        )
+
+
+def _time(fn, repetitions: int) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def calibrate(
+    param_set: str = "TOY",
+    vector_bits: int = 40,
+    policy_attributes: int = 10,
+    repetitions: int = 3,
+    payload_bytes: int = 1024,
+) -> CalibrationResult:
+    """Measure every model constant at the given parameter set.
+
+    ``vector_bits`` is the PBE vector length (Table 1: P = 40 bits);
+    ``policy_attributes`` is V.  Uses best-of-``repetitions`` to damp
+    scheduling noise.
+    """
+    group = PairingGroup(param_set)
+
+    # pairing
+    p1, p2 = group.random_g1(), group.random_g1()
+    pairing_s = _time(lambda: group.pair(p1, p2), repetitions)
+
+    # PBE / HVE
+    hve = HVE(group)
+    hve_public, hve_master = hve.setup(vector_bits)
+    attribute_vector = [i % 2 for i in range(vector_bits)]
+    interest_vector: list[int | None] = [
+        (i % 2 if i < vector_bits // 2 else None) for i in range(vector_bits)
+    ]
+    guid = b"\x42" * 16
+    pbe_encrypt_s = _time(
+        lambda: hve.encrypt(hve_public, attribute_vector, guid), repetitions
+    )
+    ciphertext = hve.encrypt(hve_public, attribute_vector, guid)
+    pbe_token_gen_s = _time(
+        lambda: hve.gen_token(hve_master, interest_vector), repetitions
+    )
+    token = hve.gen_token(hve_master, interest_vector)
+    pbe_match_s = _time(lambda: hve.query(token, ciphertext), repetitions)
+    encrypted_metadata_bytes = len(serialize_hve_ciphertext(group, ciphertext))
+
+    # CP-ABE (V-attribute AND policy — the Table 1 shape)
+    cpabe = HybridCPABE(group)
+    cpabe_public, cpabe_master = cpabe.setup()
+    attributes = {f"a{i}" for i in range(policy_attributes)}
+    policy = " and ".join(sorted(attributes))
+    key = cpabe.keygen(cpabe_master, attributes)
+    payload = b"\x07" * payload_bytes
+    cpabe_encrypt_s = _time(
+        lambda: cpabe.encrypt(cpabe_public, payload, policy), repetitions
+    )
+    abe_ciphertext = cpabe.encrypt(cpabe_public, payload, policy)
+    cpabe_decrypt_s = _time(lambda: cpabe.decrypt(key, abe_ciphertext), repetitions)
+    cpabe_overhead_bytes = len(serialize_hybrid(group, abe_ciphertext)) - payload_bytes
+
+    # PKE
+    pke = PKEKeyPair(group)
+    pke_op_s = _time(lambda: pke.public.encrypt(b"x" * 64), repetitions)
+
+    return CalibrationResult(
+        param_set=param_set,
+        vector_bits=vector_bits,
+        policy_attributes=policy_attributes,
+        pairing_s=pairing_s,
+        pbe_encrypt_s=pbe_encrypt_s,
+        pbe_match_s=pbe_match_s,
+        pbe_token_gen_s=pbe_token_gen_s,
+        cpabe_encrypt_s=cpabe_encrypt_s,
+        cpabe_decrypt_s=cpabe_decrypt_s,
+        pke_op_s=pke_op_s,
+        encrypted_metadata_bytes=encrypted_metadata_bytes,
+        cpabe_overhead_bytes=cpabe_overhead_bytes,
+        token_bytes=hve_token_size(group, vector_bits // 2),
+    )

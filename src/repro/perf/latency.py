@@ -1,0 +1,79 @@
+"""End-to-end latency models (paper §6.2, Fig. 6 decomposition, Fig. 8).
+
+Baseline::
+
+    t^b = t1 + t2 + t3
+    t1  = ℓ + ser(m)                 publisher → broker
+    t2  = 0.05 ms × N_s              broker matches ALL subscriptions
+    t3  = f·N_s × t1                 broker → each matching subscriber
+
+P3S (worst case, as the paper formulates it)::
+
+    t^p = max(t_f, t_b) + t_r
+    t_f = t_f1 + t_f2 + t_f3 + t_f4        (metadata path)
+      t_f1 = ℓ + ser(P_E) + enc_P          publisher encrypts + sends metadata
+      t_f2 = ℓ + N_s·ser(P_E)              DS broadcast to ALL subscribers
+      t_f3 = t_PBE                         local PBE match at the subscriber
+      t_f4 = ℓ + ser(G)                    retrieval request reaches the RS
+    t_b = t_b1 + t_b2                      (content-submission path)
+      t_b1 = ℓ + ser(c_A) + enc_C          publisher CP-ABE-encrypts + sends
+      t_b2 = ℓ + ser_LAN(c_A)              DS → RS on the 100 Mbps LAN
+    t_r = ℓ + f·N_s·ser(c_A) + dec_C       RS → matching subscribers + decrypt
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import ModelParams
+
+__all__ = ["baseline_latency", "p3s_latency", "latency_ratio", "LatencyBreakdown"]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-component latency decomposition (Fig. 6)."""
+
+    total: float
+    components: dict[str, float]
+
+
+def baseline_latency(payload_bytes: float, p: ModelParams) -> LatencyBreakdown:
+    t1 = p.latency_s + p.ser(payload_bytes)
+    t2 = p.baseline_match_s * p.num_subscribers
+    t3 = p.match_fraction * p.num_subscribers * t1
+    return LatencyBreakdown(
+        total=t1 + t2 + t3, components={"t1": t1, "t2": t2, "t3": t3}
+    )
+
+
+def p3s_latency(payload_bytes: float, p: ModelParams) -> LatencyBreakdown:
+    c_a = p.cpabe_ciphertext_bytes(payload_bytes)
+
+    t_f1 = p.latency_s + p.ser(p.encrypted_metadata_bytes) + p.pbe_encrypt_s
+    t_f2 = p.latency_s + p.num_subscribers * p.ser(p.encrypted_metadata_bytes)
+    t_f3 = p.pbe_match_s
+    t_f4 = p.latency_s + p.ser(p.guid_bytes)
+    t_f = t_f1 + t_f2 + t_f3 + t_f4
+
+    t_b1 = p.latency_s + p.ser(c_a) + p.cpabe_encrypt_s
+    t_b2 = p.latency_s + p.ser(c_a, p.lan_bandwidth_bps)
+    t_b = t_b1 + t_b2
+
+    t_r = (
+        p.latency_s
+        + p.match_fraction * p.num_subscribers * p.ser(c_a)
+        + p.cpabe_decrypt_s
+    )
+    return LatencyBreakdown(
+        total=max(t_f, t_b) + t_r,
+        components={
+            "t_f1": t_f1, "t_f2": t_f2, "t_f3": t_f3, "t_f4": t_f4,
+            "t_f": t_f, "t_b1": t_b1, "t_b2": t_b2, "t_b": t_b, "t_r": t_r,
+        },
+    )
+
+
+def latency_ratio(payload_bytes: float, p: ModelParams) -> float:
+    """Fig. 8(b): P3S latency relative to the baseline."""
+    return p3s_latency(payload_bytes, p).total / baseline_latency(payload_bytes, p).total

@@ -1,0 +1,74 @@
+"""Throughput models (paper §6.2, Fig. 7 decomposition, Figs. 9-10).
+
+Throughput is the minimum over per-stage publication rates.
+
+Baseline::
+
+    r^b = min(r1^b, r2^b)
+    r1^b = z / (N_s × t_match)        broker matching (z threads)
+    r2^b = ℬ / (m × N_s × f)          broker egress to matching subscribers
+
+P3S::
+
+    r^p = min(r1^p, r2^p, r3^p)
+    r1^p = ℬ / (P_E × N_s)            DS broadcast of encrypted metadata
+    r2^p = W / t_PBE                  per-subscriber PBE matching (W threads)
+    r3^p = ℬ / (c_A × N_s × f)        RS egress of payloads
+
+Sizes are bytes and ℬ bits/s, so every ``size × rate`` term goes through
+``ser`` (the ×8).
+
+**Hierarchical dissemination** (§6.2: "this issue can be addressed by
+reconfiguring the P3S architecture to use hierarchical dissemination"):
+with ``relay_fanout = k`` the DS sends each metadata item to only ``k``
+relays, each of which re-serves ≤ ``k`` children, so the per-node
+broadcast bottleneck becomes ℬ/(P_E·k) instead of ℬ/(P_E·N_s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import ModelParams
+
+__all__ = ["baseline_throughput", "p3s_throughput", "throughput_ratio", "ThroughputBreakdown"]
+
+
+@dataclass(frozen=True)
+class ThroughputBreakdown:
+    """Publications/second, with the limiting stage identified."""
+
+    total: float
+    bottleneck: str
+    stages: dict[str, float]
+
+
+def baseline_throughput(payload_bytes: float, p: ModelParams) -> ThroughputBreakdown:
+    r1 = p.broker_threads / (p.num_subscribers * p.baseline_match_s)
+    r2 = 1.0 / (p.match_fraction * p.num_subscribers * p.ser(payload_bytes))
+    stages = {"r1_match": r1, "r2_egress": r2}
+    bottleneck = min(stages, key=stages.get)
+    return ThroughputBreakdown(total=stages[bottleneck], bottleneck=bottleneck, stages=stages)
+
+
+def p3s_throughput(
+    payload_bytes: float, p: ModelParams, relay_fanout: int | None = None
+) -> ThroughputBreakdown:
+    c_a = p.cpabe_ciphertext_bytes(payload_bytes)
+    fanout = p.num_subscribers if relay_fanout is None else min(relay_fanout, p.num_subscribers)
+    r1 = 1.0 / (fanout * p.ser(p.encrypted_metadata_bytes))
+    r2 = p.subscriber_match_threads / p.pbe_match_s
+    r3 = 1.0 / (p.match_fraction * p.num_subscribers * p.ser(c_a))
+    stages = {"r1_ds_broadcast": r1, "r2_pbe_match": r2, "r3_rs_egress": r3}
+    bottleneck = min(stages, key=stages.get)
+    return ThroughputBreakdown(total=stages[bottleneck], bottleneck=bottleneck, stages=stages)
+
+
+def throughput_ratio(
+    payload_bytes: float, p: ModelParams, relay_fanout: int | None = None
+) -> float:
+    """Figs. 9(b)/10(b): P3S throughput relative to the baseline."""
+    return (
+        p3s_throughput(payload_bytes, p, relay_fanout=relay_fanout).total
+        / baseline_throughput(payload_bytes, p).total
+    )

@@ -1,0 +1,144 @@
+"""Cross-validation: the analytic models vs full protocol simulations.
+
+The paper justifies its analytic treatment with prototype spot
+measurements; we can go further — the same deployment the models describe
+can be *run* (real ciphertexts, simulated network), and the two compared.
+:func:`simulate_p3s_latency` / :func:`simulate_baseline_latency` run one
+publication through a deployment sized like a :class:`ModelParams`
+instance and report the measured worst-case delivery latency;
+:func:`simulate_p3s_throughput` offers a sustained publication load and
+reports the achieved completion rate.
+
+Agreement is necessarily approximate (the models are deliberately
+worst-case — e.g. ``t^p`` assumes the last matcher requests first), so
+the validation asserts band agreement, not equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baseline import BaselineSystem
+from ..core import ComputeTimings, P3SConfig, P3SSystem
+from ..pbe import AttributeSpec, Interest, MetadataSchema
+from .params import ModelParams
+
+__all__ = [
+    "SimulatedPoint",
+    "simulate_p3s_latency",
+    "simulate_baseline_latency",
+    "simulate_p3s_throughput",
+]
+
+
+@dataclass(frozen=True)
+class SimulatedPoint:
+    """One measured operating point of a simulated deployment."""
+
+    payload_bytes: int
+    num_subscribers: int
+    num_matching: int
+    value: float  # seconds (latency) or publications/second (throughput)
+
+
+def _schema() -> MetadataSchema:
+    return MetadataSchema([AttributeSpec("topic", tuple(f"t{i}" for i in range(8)))])
+
+
+def _timings(params: ModelParams) -> ComputeTimings:
+    return ComputeTimings(
+        pbe_encrypt=params.pbe_encrypt_s,
+        pbe_match=params.pbe_match_s,
+        cpabe_encrypt=params.cpabe_encrypt_s,
+        cpabe_decrypt=params.cpabe_decrypt_s,
+        pke_op=0.0,  # the analytic model omits PKE costs
+        symmetric_per_byte=0.0,  # ... and bulk symmetric costs
+    )
+
+
+def _build_p3s(params: ModelParams, num_subscribers: int, num_matching: int) -> tuple:
+    config = P3SConfig(
+        schema=_schema(),
+        timings=_timings(params),
+        bandwidth_bps=params.bandwidth_bps,
+        lan_bandwidth_bps=params.lan_bandwidth_bps,
+        latency_s=params.latency_s,
+    )
+    system = P3SSystem(config)
+    for index in range(num_subscribers):
+        subscriber = system.add_subscriber(f"s{index}", {"attr"})
+        topic = "t0" if index < num_matching else "t7"
+        system.subscribe(subscriber, Interest({"topic": topic}))
+    publisher = system.add_publisher("pub")
+    system.run()
+    return system, publisher
+
+
+def simulate_p3s_latency(
+    payload_bytes: int,
+    params: ModelParams,
+    num_subscribers: int = 10,
+    num_matching: int = 2,
+) -> SimulatedPoint:
+    """Worst-case delivery latency of one publication, measured."""
+    system, publisher = _build_p3s(params, num_subscribers, num_matching)
+    record = publisher.publish(
+        {"topic": "t0"}, b"\x00" * payload_bytes, policy="attr"
+    )
+    system.run()
+    latencies = system.delivery_latencies(record)
+    assert len(latencies) == num_matching, "simulation must deliver to every matcher"
+    return SimulatedPoint(payload_bytes, num_subscribers, num_matching, max(latencies))
+
+
+def simulate_baseline_latency(
+    payload_bytes: int,
+    params: ModelParams,
+    num_subscribers: int = 10,
+    num_matching: int = 2,
+) -> SimulatedPoint:
+    system = BaselineSystem(
+        bandwidth_bps=params.bandwidth_bps,
+        latency_s=params.latency_s,
+        timings=_timings(params),
+    )
+    for index in range(num_subscribers):
+        subscriber = system.add_subscriber(f"s{index}")
+        subscriber.subscribe(Interest({"topic": "t0" if index < num_matching else "t7"}))
+    system.run()
+    publisher = system.add_publisher("pub")
+    start = system.sim.now
+    pid = publisher.publish({"topic": "t0"}, b"\x00" * payload_bytes)
+    system.run()
+    deliveries = system.deliveries_for(pid)
+    assert len(deliveries) == num_matching
+    latency = max(d.delivered_at - start for d in deliveries)
+    return SimulatedPoint(payload_bytes, num_subscribers, num_matching, latency)
+
+
+def simulate_p3s_throughput(
+    payload_bytes: int,
+    params: ModelParams,
+    num_subscribers: int = 10,
+    num_matching: int = 2,
+    num_publications: int = 10,
+) -> SimulatedPoint:
+    """Achieved publication rate under back-to-back offered load.
+
+    Publishes ``num_publications`` items as fast as the publisher can and
+    divides by the simulated makespan until the last delivery — the
+    steady-state analogue of the models' ``min`` of stage rates.
+    """
+    system, publisher = _build_p3s(params, num_subscribers, num_matching)
+    start = system.now
+    records = [
+        publisher.publish({"topic": "t0"}, b"\x00" * payload_bytes, policy="attr")
+        for _ in range(num_publications)
+    ]
+    system.run()
+    delivered = sum(len(system.deliveries_for(record)) for record in records)
+    assert delivered == num_publications * num_matching
+    makespan = system.now - start
+    return SimulatedPoint(
+        payload_bytes, num_subscribers, num_matching, num_publications / makespan
+    )

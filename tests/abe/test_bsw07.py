@@ -1,0 +1,143 @@
+"""BSW07 CP-ABE: correctness, policy coverage, collusion resistance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.abe.bsw07 import CPABE, CPABESecretKey
+from repro.abe.policy import parse_policy
+from repro.crypto.group import PairingGroup
+from repro.errors import PolicyError, PolicyNotSatisfiedError
+
+GROUP = PairingGroup("TOY")
+SCHEME = CPABE(GROUP)
+PUBLIC, MASTER = SCHEME.setup()
+
+
+def key_for(*attributes):
+    return SCHEME.keygen(MASTER, set(attributes))
+
+
+class TestCorrectness:
+    def setup_method(self):
+        self.message = GROUP.random_gt()
+
+    def test_single_attribute(self):
+        ct = SCHEME.encrypt(PUBLIC, self.message, "a")
+        assert SCHEME.decrypt(key_for("a"), ct) == self.message
+
+    def test_and_gate(self):
+        ct = SCHEME.encrypt(PUBLIC, self.message, "a and b and c")
+        assert SCHEME.decrypt(key_for("a", "b", "c"), ct) == self.message
+
+    def test_or_gate_left_branch(self):
+        ct = SCHEME.encrypt(PUBLIC, self.message, "a or b")
+        assert SCHEME.decrypt(key_for("a"), ct) == self.message
+
+    def test_or_gate_right_branch(self):
+        ct = SCHEME.encrypt(PUBLIC, self.message, "a or b")
+        assert SCHEME.decrypt(key_for("b"), ct) == self.message
+
+    def test_threshold_gate(self):
+        ct = SCHEME.encrypt(PUBLIC, self.message, "2 of (a, b, c)")
+        assert SCHEME.decrypt(key_for("b", "c"), ct) == self.message
+
+    def test_nested_policy(self):
+        ct = SCHEME.encrypt(PUBLIC, self.message, "a and (b or 2 of (c, d, e))")
+        assert SCHEME.decrypt(key_for("a", "d", "e"), ct) == self.message
+        assert SCHEME.decrypt(key_for("a", "b"), ct) == self.message
+
+    def test_duplicate_attribute_in_policy(self):
+        # same attribute appears at two leaves; traversal must map components correctly
+        ct = SCHEME.encrypt(PUBLIC, self.message, "(a and b) or (a and c)")
+        assert SCHEME.decrypt(key_for("a", "c"), ct) == self.message
+
+    def test_extra_attributes_in_key(self):
+        ct = SCHEME.encrypt(PUBLIC, self.message, "a")
+        assert SCHEME.decrypt(key_for("a", "b", "z"), ct) == self.message
+
+    def test_policy_object_accepted(self):
+        ct = SCHEME.encrypt(PUBLIC, self.message, parse_policy("a or b"))
+        assert SCHEME.decrypt(key_for("a"), ct) == self.message
+
+    def test_ciphertexts_randomized(self):
+        ct1 = SCHEME.encrypt(PUBLIC, self.message, "a")
+        ct2 = SCHEME.encrypt(PUBLIC, self.message, "a")
+        assert ct1.c_tilde != ct2.c_tilde
+
+
+class TestRejection:
+    def setup_method(self):
+        self.message = GROUP.random_gt()
+
+    def test_missing_attribute(self):
+        ct = SCHEME.encrypt(PUBLIC, self.message, "a and b")
+        with pytest.raises(PolicyNotSatisfiedError):
+            SCHEME.decrypt(key_for("a"), ct)
+
+    def test_threshold_not_met(self):
+        ct = SCHEME.encrypt(PUBLIC, self.message, "3 of (a, b, c, d)")
+        with pytest.raises(PolicyNotSatisfiedError):
+            SCHEME.decrypt(key_for("a", "b"), ct)
+
+    def test_empty_attribute_set_rejected_at_keygen(self):
+        with pytest.raises(PolicyError):
+            SCHEME.keygen(MASTER, set())
+
+    def test_wrong_master_key(self):
+        other_public, other_master = SCHEME.setup()
+        ct = SCHEME.encrypt(other_public, self.message, "a")
+        key = SCHEME.keygen(MASTER, {"a"})  # key from a different authority
+        assert SCHEME.decrypt(key, ct) != self.message
+
+
+class TestCollusionResistance:
+    def test_combined_components_fail(self):
+        """Two keys, each missing one attribute, cannot be merged.
+
+        The per-key randomizer r differs between the keys, so grafting
+        Bob's D_y component onto Alice's key yields garbage.
+        """
+        message = GROUP.random_gt()
+        ct = SCHEME.encrypt(PUBLIC, message, "x and y")
+        alice = key_for("x")
+        bob = key_for("y")
+        merged = CPABESecretKey(
+            attributes=frozenset({"x", "y"}),
+            d=alice.d,
+            components={**alice.components, **bob.components},
+        )
+        assert SCHEME.decrypt(merged, ct) != message
+
+    def test_merged_with_bobs_d_also_fails(self):
+        message = GROUP.random_gt()
+        ct = SCHEME.encrypt(PUBLIC, message, "x and y")
+        alice = key_for("x")
+        bob = key_for("y")
+        merged = CPABESecretKey(
+            attributes=frozenset({"x", "y"}),
+            d=bob.d,
+            components={**alice.components, **bob.components},
+        )
+        assert SCHEME.decrypt(merged, ct) != message
+
+    def test_each_key_alone_fails_cleanly(self):
+        message = GROUP.random_gt()
+        ct = SCHEME.encrypt(PUBLIC, message, "x and y")
+        for key in (key_for("x"), key_for("y")):
+            with pytest.raises(PolicyNotSatisfiedError):
+                SCHEME.decrypt(key, ct)
+
+
+class TestProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(st.sets(st.sampled_from(["a", "b", "c", "d"]), min_size=1))
+    def test_decrypts_iff_policy_satisfied(self, attributes):
+        message = GROUP.random_gt()
+        policy = parse_policy("(a and b) or (c and d)")
+        ct = SCHEME.encrypt(PUBLIC, message, policy)
+        key = SCHEME.keygen(MASTER, attributes)
+        if policy.satisfied_by(attributes):
+            assert SCHEME.decrypt(key, ct) == message
+        else:
+            with pytest.raises(PolicyNotSatisfiedError):
+                SCHEME.decrypt(key, ct)

@@ -1,0 +1,94 @@
+"""BSW07 key delegation and public/master key serialization."""
+
+import pytest
+
+from repro.abe.bsw07 import CPABE
+from repro.abe.serialize import (
+    deserialize_master_key,
+    deserialize_public_key,
+    serialize_master_key,
+    serialize_public_key,
+)
+from repro.crypto.group import PairingGroup
+from repro.errors import PolicyError, PolicyNotSatisfiedError, SerializationError
+
+GROUP = PairingGroup("TOY")
+SCHEME = CPABE(GROUP)
+PUBLIC, MASTER = SCHEME.setup()
+
+
+class TestDelegation:
+    def test_delegated_key_decrypts_within_subset(self):
+        parent = SCHEME.keygen(MASTER, {"a", "b", "c"})
+        child = SCHEME.delegate(PUBLIC, parent, {"a", "b"})
+        message = GROUP.random_gt()
+        ciphertext = SCHEME.encrypt(PUBLIC, message, "a and b")
+        assert SCHEME.decrypt(child, ciphertext) == message
+
+    def test_delegated_key_lacks_dropped_attribute(self):
+        parent = SCHEME.keygen(MASTER, {"a", "b", "c"})
+        child = SCHEME.delegate(PUBLIC, parent, {"a"})
+        ciphertext = SCHEME.encrypt(PUBLIC, GROUP.random_gt(), "a and c")
+        with pytest.raises(PolicyNotSatisfiedError):
+            SCHEME.decrypt(child, ciphertext)
+
+    def test_cannot_delegate_unheld_attribute(self):
+        parent = SCHEME.keygen(MASTER, {"a"})
+        with pytest.raises(PolicyError):
+            SCHEME.delegate(PUBLIC, parent, {"a", "z"})
+
+    def test_cannot_delegate_empty_set(self):
+        parent = SCHEME.keygen(MASTER, {"a"})
+        with pytest.raises(PolicyError):
+            SCHEME.delegate(PUBLIC, parent, set())
+
+    def test_delegated_keys_do_not_collude(self):
+        """Two delegations from one parent use fresh randomizers."""
+        from repro.abe.bsw07 import CPABESecretKey
+
+        parent = SCHEME.keygen(MASTER, {"x", "y"})
+        child_x = SCHEME.delegate(PUBLIC, parent, {"x"})
+        child_y = SCHEME.delegate(PUBLIC, parent, {"y"})
+        message = GROUP.random_gt()
+        ciphertext = SCHEME.encrypt(PUBLIC, message, "x and y")
+        merged = CPABESecretKey(
+            attributes=frozenset({"x", "y"}),
+            d=child_x.d,
+            components={**child_x.components, **child_y.components},
+        )
+        assert SCHEME.decrypt(merged, ciphertext) != message
+
+    def test_two_level_delegation(self):
+        parent = SCHEME.keygen(MASTER, {"a", "b", "c"})
+        child = SCHEME.delegate(PUBLIC, parent, {"a", "b"})
+        grandchild = SCHEME.delegate(PUBLIC, child, {"a"})
+        message = GROUP.random_gt()
+        ciphertext = SCHEME.encrypt(PUBLIC, message, "a")
+        assert SCHEME.decrypt(grandchild, ciphertext) == message
+
+
+class TestKeySerialization:
+    def test_public_key_roundtrip(self):
+        data = serialize_public_key(GROUP, PUBLIC)
+        restored = deserialize_public_key(GROUP, data)
+        message = GROUP.random_gt()
+        ciphertext = SCHEME.encrypt(restored, message, "a")
+        key = SCHEME.keygen(MASTER, {"a"})
+        assert SCHEME.decrypt(key, ciphertext) == message
+
+    def test_master_key_roundtrip(self):
+        data = serialize_master_key(GROUP, MASTER)
+        restored = deserialize_master_key(GROUP, data)
+        key = SCHEME.keygen(restored, {"a"})
+        message = GROUP.random_gt()
+        ciphertext = SCHEME.encrypt(PUBLIC, message, "a")
+        assert SCHEME.decrypt(key, ciphertext) == message
+
+    def test_public_key_trailing_bytes_rejected(self):
+        data = serialize_public_key(GROUP, PUBLIC)
+        with pytest.raises(SerializationError):
+            deserialize_public_key(GROUP, data + b"\x00")
+
+    def test_master_key_bad_length_rejected(self):
+        with pytest.raises(SerializationError):
+            deserialize_master_key(GROUP, b"\x00" * 5)

@@ -1,0 +1,103 @@
+"""Hybrid CP-ABE and serialization round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.abe import (
+    HybridCPABE,
+    cpabe_ciphertext_size,
+    deserialize_ciphertext,
+    deserialize_hybrid,
+    deserialize_secret_key,
+    serialize_ciphertext,
+    serialize_hybrid,
+    serialize_secret_key,
+)
+from repro.crypto.group import PairingGroup
+from repro.errors import DecryptionError, PolicyNotSatisfiedError, SerializationError
+
+GROUP = PairingGroup("TOY")
+SCHEME = HybridCPABE(GROUP)
+PUBLIC, MASTER = SCHEME.setup()
+KEY = SCHEME.keygen(MASTER, {"org:acme", "role:analyst"})
+
+
+class TestHybrid:
+    def test_roundtrip(self):
+        ct = SCHEME.encrypt(PUBLIC, b"payload", "org:acme")
+        assert SCHEME.decrypt(KEY, ct) == b"payload"
+
+    def test_empty_payload(self):
+        ct = SCHEME.encrypt(PUBLIC, b"", "org:acme")
+        assert SCHEME.decrypt(KEY, ct) == b""
+
+    def test_large_payload(self):
+        payload = bytes(range(256)) * 64  # 16 KiB
+        ct = SCHEME.encrypt(PUBLIC, payload, "org:acme and role:analyst")
+        assert SCHEME.decrypt(KEY, ct) == payload
+
+    def test_policy_not_satisfied(self):
+        ct = SCHEME.encrypt(PUBLIC, b"secret", "org:other")
+        with pytest.raises(PolicyNotSatisfiedError):
+            SCHEME.decrypt(KEY, ct)
+
+    def test_tampered_dem_detected(self):
+        ct = SCHEME.encrypt(PUBLIC, b"secret", "org:acme")
+        tampered = type(ct)(kem=ct.kem, sealed=ct.sealed[:-1] + bytes([ct.sealed[-1] ^ 1]))
+        with pytest.raises(DecryptionError):
+            SCHEME.decrypt(KEY, tampered)
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.binary(max_size=256))
+    def test_roundtrip_property(self, payload):
+        ct = SCHEME.encrypt(PUBLIC, payload, "org:acme")
+        assert SCHEME.decrypt(KEY, ct) == payload
+
+
+class TestSerialization:
+    def test_ciphertext_roundtrip(self):
+        message = GROUP.random_gt()
+        ct = SCHEME.abe.encrypt(PUBLIC, message, "a and (b or c)")
+        restored = deserialize_ciphertext(GROUP, serialize_ciphertext(GROUP, ct))
+        assert restored.c_tilde == ct.c_tilde
+        assert restored.c == ct.c
+        assert restored.leaf_components == ct.leaf_components
+        assert restored.policy == ct.policy
+
+    def test_restored_ciphertext_decrypts(self):
+        ct = SCHEME.encrypt(PUBLIC, b"bytes", "org:acme")
+        restored = deserialize_hybrid(GROUP, serialize_hybrid(GROUP, ct))
+        assert SCHEME.decrypt(KEY, restored) == b"bytes"
+
+    def test_secret_key_roundtrip(self):
+        restored = deserialize_secret_key(GROUP, serialize_secret_key(GROUP, KEY))
+        assert restored.attributes == KEY.attributes
+        ct = SCHEME.encrypt(PUBLIC, b"bytes", "role:analyst")
+        assert SCHEME.decrypt(restored, ct) == b"bytes"
+
+    def test_truncated_rejected(self):
+        ct = SCHEME.encrypt(PUBLIC, b"bytes", "org:acme")
+        blob = serialize_hybrid(GROUP, ct)
+        with pytest.raises(SerializationError):
+            deserialize_hybrid(GROUP, blob[: len(blob) // 2])
+
+    def test_trailing_bytes_rejected(self):
+        ct = SCHEME.encrypt(PUBLIC, b"bytes", "org:acme")
+        with pytest.raises(SerializationError):
+            deserialize_hybrid(GROUP, serialize_hybrid(GROUP, ct) + b"\x00")
+
+    def test_size_model_close_to_actual(self):
+        payload = b"x" * 1000
+        ct = SCHEME.encrypt(PUBLIC, payload, "org:acme and role:analyst")
+        actual = len(serialize_hybrid(GROUP, ct))
+        predicted = cpabe_ciphertext_size(GROUP, num_leaves=2, payload_len=len(payload))
+        # the model uses a nominal attribute-name length; allow small slack
+        assert abs(actual - predicted) < 100
+
+    def test_size_grows_linearly_with_leaves(self):
+        sizes = []
+        for policy, leaves in [("a", 1), ("a and b", 2), ("a and b and c and d", 4)]:
+            ct = SCHEME.encrypt(PUBLIC, b"p", policy)
+            sizes.append(len(serialize_hybrid(GROUP, ct)))
+        per_leaf = (sizes[2] - sizes[0]) / 3
+        assert per_leaf == pytest.approx(2 * GROUP.g1_bytes + 2 * 4 + 4 + 1, abs=16)

@@ -1,0 +1,112 @@
+"""Baseline centralized pub-sub system tests."""
+
+import pytest
+
+from repro.baseline import BaselineSystem
+from repro.pbe import ANY, Interest
+
+
+def make_loaded_system(num_subscribers=4):
+    system = BaselineSystem()
+    subscribers = [system.add_subscriber(f"s{i}") for i in range(num_subscribers)]
+    return system, subscribers
+
+
+class TestMatchingAndDelivery:
+    def test_matching_subscriber_receives(self):
+        system, (s0, *_) = make_loaded_system()
+        s0.subscribe(Interest({"topic": "m&a"}))
+        system.run()
+        publisher = system.add_publisher("p")
+        pid = publisher.publish({"topic": "m&a"}, b"payload")
+        system.run()
+        deliveries = system.deliveries_for(pid)
+        assert len(deliveries) == 1
+        assert deliveries[0].payload == b"payload"
+
+    def test_non_matching_gets_nothing(self):
+        system, (s0, s1, *_) = make_loaded_system()
+        s0.subscribe(Interest({"topic": "m&a"}))
+        s1.subscribe(Interest({"topic": "earnings"}))
+        system.run()
+        publisher = system.add_publisher("p")
+        pid = publisher.publish({"topic": "m&a"}, b"x")
+        system.run()
+        assert len(system.deliveries_for(pid)) == 1
+        assert s1.deliveries == []
+
+    def test_wildcards(self):
+        system, (s0, *_) = make_loaded_system()
+        s0.subscribe(Interest({"topic": ANY, "region": "us"}))
+        system.run()
+        publisher = system.add_publisher("p")
+        pid = publisher.publish({"topic": "anything", "region": "us"}, b"x")
+        system.run()
+        assert len(system.deliveries_for(pid)) == 1
+
+    def test_broker_only_sends_to_matchers(self):
+        """Key contrast with P3S: the baseline broker does NOT broadcast."""
+        system, subscribers = make_loaded_system(num_subscribers=10)
+        for i, sub in enumerate(subscribers):
+            sub.subscribe(Interest({"topic": "hot" if i < 3 else "cold"}))
+        system.run()
+        publisher = system.add_publisher("p")
+        pid = publisher.publish({"topic": "hot"}, b"x")
+        system.run()
+        assert len(system.deliveries_for(pid)) == 3
+        assert system.broker.delivered_count == 3
+
+    def test_multiple_publications(self):
+        system, (s0, *_) = make_loaded_system()
+        s0.subscribe(Interest({"topic": "a"}))
+        system.run()
+        publisher = system.add_publisher("p")
+        ids = [publisher.publish({"topic": "a"}, f"m{i}".encode()) for i in range(5)]
+        system.run()
+        for pid in ids:
+            assert len(system.deliveries_for(pid)) == 1
+        assert [d.payload for d in s0.deliveries] == [b"m0", b"m1", b"m2", b"m3", b"m4"]
+
+
+class TestTimingModel:
+    def test_latency_shape_small_payload(self):
+        """t^b = t1 + t2 + t3: two ~45 ms hops plus matching dominate."""
+        system, (s0, *_) = make_loaded_system(num_subscribers=1)
+        s0.subscribe(Interest({"topic": "a"}))
+        system.run()
+        publisher = system.add_publisher("p")
+        start = system.sim.now
+        publisher.publish({"topic": "a"}, b"tiny")
+        system.run()
+        latency = s0.deliveries[0].delivered_at - start
+        assert 0.090 < latency < 0.12
+
+    def test_latency_grows_with_payload(self):
+        def measure(size):
+            system = BaselineSystem()
+            sub = system.add_subscriber("s")
+            sub.subscribe(Interest({"topic": "a"}))
+            system.run()
+            publisher = system.add_publisher("p")
+            start = system.sim.now
+            publisher.publish({"topic": "a"}, b"x" * size)
+            system.run()
+            return sub.deliveries[0].delivered_at - start
+
+        small, large = measure(1_000), measure(1_000_000)
+        # 1 MB at 10 Mbps adds ~0.8 s serialization per hop
+        assert large > small + 1.0
+
+    def test_match_time_scales_with_subscriptions(self):
+        system, subscribers = make_loaded_system(num_subscribers=50)
+        for sub in subscribers:
+            sub.subscribe(Interest({"topic": "nope"}))
+        subscribers[0].subscribe(Interest({"topic": "a"}))
+        system.run()
+        publisher = system.add_publisher("p")
+        start = system.sim.now
+        publisher.publish({"topic": "a"}, b"x")
+        system.run()
+        latency = subscribers[0].deliveries[0].delivered_at - start
+        # 51 subscriptions × 0.05 ms ≈ 2.6 ms of matching on the broker
+        assert latency > 0.090 + 0.0025

@@ -1,0 +1,87 @@
+"""MetricsCollector: lifecycle stats, throughput, CSV export."""
+
+import pytest
+
+from repro.core import P3SConfig, P3SSystem
+from repro.core.metrics import LatencyStats, MetricsCollector
+from repro.pbe import AttributeSpec, Interest, MetadataSchema
+
+
+@pytest.fixture(scope="module")
+def finished_run():
+    schema = MetadataSchema([AttributeSpec("topic", ("a", "b", "c", "d"))])
+    system = P3SSystem(P3SConfig(schema=schema))
+    for index in range(3):
+        subscriber = system.add_subscriber(f"s{index}", {"org"})
+        system.subscribe(subscriber, Interest({"topic": "a" if index < 2 else "b"}))
+    system.run()
+    publisher = system.add_publisher("pub")
+    system.run()
+    for _ in range(3):
+        publisher.publish({"topic": "a"}, b"payload", policy="org")
+    system.run()
+    return system
+
+
+class TestLatencyStats:
+    def test_from_values(self):
+        stats = LatencyStats.from_values([0.1, 0.2, 0.3, 0.4])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(0.25)
+        assert stats.median in (0.2, 0.3)
+        assert stats.maximum == 0.4
+
+    def test_empty(self):
+        stats = LatencyStats.from_values([])
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+    def test_p95_of_many(self):
+        stats = LatencyStats.from_values([float(i) for i in range(100)])
+        assert stats.p95 == pytest.approx(94.0)
+
+
+class TestCollector:
+    def test_publication_metrics(self, finished_run):
+        collector = MetricsCollector(finished_run)
+        metrics = collector.publication_metrics()
+        assert len(metrics) == 3
+        for m in metrics:
+            assert m.deliveries == 2  # two matching subscribers
+            assert m.metadata_bytes > 0
+            assert m.payload_bytes > 0
+            assert all(latency > 0 for latency in m.latencies)
+
+    def test_latency_stats(self, finished_run):
+        collector = MetricsCollector(finished_run)
+        stats = collector.latency_stats()
+        assert stats.count == 6  # 3 publications × 2 matchers
+        assert 0 < stats.median <= stats.p95 <= stats.maximum
+
+    def test_worst_case_stats(self, finished_run):
+        collector = MetricsCollector(finished_run)
+        worst = collector.worst_case_latency_stats()
+        assert worst.count == 3
+        assert worst.maximum >= collector.latency_stats().median
+
+    def test_achieved_throughput(self, finished_run):
+        collector = MetricsCollector(finished_run)
+        throughput = collector.achieved_throughput()
+        assert throughput > 0.5  # 3 pubs in well under 6 simulated seconds
+
+    def test_delivery_ratio_complete(self, finished_run):
+        assert MetricsCollector(finished_run).delivery_ratio() == 1.0
+
+    def test_component_bytes(self, finished_run):
+        counters = MetricsCollector(finished_run).component_bytes()
+        ds_sent, ds_received = counters["ds"]
+        assert ds_sent > 0 and ds_received > 0
+        # the DS fans metadata to 3 subscribers: it sends more than it receives
+        assert ds_sent > ds_received
+
+    def test_csv_export(self, finished_run):
+        csv_text = MetricsCollector(finished_run).to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("publication_id,")
+        assert len(lines) == 1 + 6
+        assert any(",s0," in line for line in lines[1:])

@@ -1,0 +1,116 @@
+"""Unit and property tests for curve point arithmetic and hash-to-point."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.curve import Point, hash_to_point
+from repro.crypto.params import TOY
+from repro.errors import NotOnCurveError, SerializationError
+
+G = Point.generator(TOY)
+R = TOY.r
+
+scalars = st.integers(min_value=0, max_value=R - 1)
+
+
+class TestGroupLaw:
+    def test_generator_on_curve(self):
+        assert G._on_curve()
+
+    def test_generator_order(self):
+        assert (G * R).is_infinity
+        assert not (G * (R - 1)).is_infinity
+
+    def test_identity(self):
+        inf = Point.infinity(TOY)
+        assert G + inf == G
+        assert inf + G == G
+        assert (inf + inf).is_infinity
+
+    def test_inverse(self):
+        assert (G + (-G)).is_infinity
+
+    def test_doubling_matches_addition(self):
+        assert G.double() == G * 2
+
+    def test_scalar_zero(self):
+        assert (G * 0).is_infinity
+
+    def test_scalar_negative(self):
+        assert G * (-3) == -(G * 3)
+
+    def test_scalar_not_reduced_mod_r(self):
+        # Cofactor clearing relies on scalars larger than r being honoured.
+        assert G * (R + 1) == G
+
+    def test_off_curve_point_rejected(self):
+        with pytest.raises(NotOnCurveError):
+            Point(1, 1, TOY)
+
+    def test_infinity_neg(self):
+        inf = Point.infinity(TOY)
+        assert (-inf).is_infinity
+
+
+class TestGroupProperties:
+    @settings(max_examples=30)
+    @given(scalars, scalars)
+    def test_scalar_distributes(self, a, b):
+        assert G * a + G * b == G * ((a + b) % R)
+
+    @settings(max_examples=20)
+    @given(scalars, scalars)
+    def test_addition_commutative(self, a, b):
+        assert G * a + G * b == G * b + G * a
+
+    @settings(max_examples=20)
+    @given(scalars)
+    def test_serialize_roundtrip(self, a):
+        point = G * a
+        assert Point.from_bytes(point.to_bytes(), TOY) == point
+
+
+class TestSerialization:
+    def test_infinity_roundtrip(self):
+        inf = Point.infinity(TOY)
+        data = inf.to_bytes()
+        assert data[0] == 0x00
+        assert Point.from_bytes(data, TOY).is_infinity
+
+    def test_fixed_width(self):
+        assert len(G.to_bytes()) == 1 + 2 * TOY.q_bytes
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(SerializationError):
+            Point.from_bytes(b"\x04" + b"\x00" * 3, TOY)
+
+    def test_bad_tag_rejected(self):
+        data = bytearray(G.to_bytes())
+        data[0] = 0x07
+        with pytest.raises(SerializationError):
+            Point.from_bytes(bytes(data), TOY)
+
+    def test_tampered_point_rejected(self):
+        data = bytearray(G.to_bytes())
+        data[-1] ^= 1
+        with pytest.raises(NotOnCurveError):
+            Point.from_bytes(bytes(data), TOY)
+
+
+class TestHashToPoint:
+    def test_deterministic(self):
+        assert hash_to_point(b"attr:alice", TOY) == hash_to_point(b"attr:alice", TOY)
+
+    def test_distinct_labels_distinct_points(self):
+        assert hash_to_point(b"a", TOY) != hash_to_point(b"b", TOY)
+
+    def test_in_prime_order_subgroup(self):
+        point = hash_to_point(b"subgroup-check", TOY)
+        assert (point * R).is_infinity
+        assert not point.is_infinity
+
+    def test_many_labels_all_valid(self):
+        for i in range(20):
+            point = hash_to_point(f"label-{i}".encode(), TOY)
+            assert point._on_curve()
+            assert (point * R).is_infinity

@@ -1,0 +1,94 @@
+"""Bilinearity, non-degeneracy, and multi-pairing correctness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.curve import Point, hash_to_point
+from repro.crypto.pairing import miller_loop, multi_pairing, tate_pairing
+from repro.crypto.params import TEST, TOY
+from repro.errors import ParameterError
+
+G = Point.generator(TOY)
+R = TOY.r
+E = tate_pairing(G, G)
+
+scalars = st.integers(min_value=1, max_value=R - 1)
+
+
+class TestTatePairing:
+    def test_non_degenerate(self):
+        assert not E.is_one()
+
+    def test_order_r(self):
+        assert (E**R).is_one()
+
+    def test_bilinear_left(self):
+        a = 123456789
+        assert tate_pairing(G * a, G) == E**a
+
+    def test_bilinear_right(self):
+        b = 987654321
+        assert tate_pairing(G, G * b) == E**b
+
+    def test_symmetric(self):
+        p, q = G * 17, G * 91
+        assert tate_pairing(p, q) == tate_pairing(q, p)
+
+    def test_infinity_maps_to_identity(self):
+        inf = Point.infinity(TOY)
+        assert tate_pairing(inf, G).is_one()
+        assert tate_pairing(G, inf).is_one()
+
+    def test_edge_scalar_r_minus_one(self):
+        # exercises the final-add vertical line (T = −P) inside Miller's loop
+        assert tate_pairing(G * (R - 1), G) == E ** (R - 1)
+
+    def test_hashed_points_pair(self):
+        h1 = hash_to_point(b"x", TOY)
+        h2 = hash_to_point(b"y", TOY)
+        assert not tate_pairing(h1, h2).is_one()
+
+    def test_miller_loop_rejects_infinity(self):
+        with pytest.raises(ParameterError):
+            miller_loop(Point.infinity(TOY), G)
+
+    @settings(max_examples=15, deadline=None)
+    @given(scalars, scalars)
+    def test_bilinearity_property(self, a, b):
+        assert tate_pairing(G * a, G * b) == E ** ((a * b) % R)
+
+
+class TestMultiPairing:
+    def test_empty_product_is_identity(self):
+        assert multi_pairing([], TOY).is_one()
+
+    def test_single_pair_matches_tate(self):
+        p, q = G * 7, G * 11
+        assert multi_pairing([(p, q)], TOY) == tate_pairing(p, q)
+
+    def test_product_of_three(self):
+        pairs = [(G * 2, G * 3), (G * 5, G * 7), (G * 11, G * 13)]
+        expected = E ** ((2 * 3 + 5 * 7 + 11 * 13) % R)
+        assert multi_pairing(pairs, TOY) == expected
+
+    def test_infinity_pairs_skipped(self):
+        inf = Point.infinity(TOY)
+        pairs = [(G * 2, G * 3), (inf, G), (G, inf)]
+        assert multi_pairing(pairs, TOY) == E**6
+
+    def test_edge_r_minus_one_in_product(self):
+        pairs = [(G * (R - 1), G), (G, G)]
+        assert multi_pairing(pairs, TOY) == E ** ((R - 1 + 1) % R)  # identity
+        assert multi_pairing(pairs, TOY).is_one()
+
+    def test_mismatched_params_rejected(self):
+        other = Point.generator(TEST)
+        with pytest.raises(ParameterError):
+            multi_pairing([(G, other)], TOY)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.tuples(scalars, scalars), min_size=1, max_size=4))
+    def test_matches_naive_product(self, scalar_pairs):
+        pairs = [(G * a, G * b) for a, b in scalar_pairs]
+        exponent = sum(a * b for a, b in scalar_pairs) % R
+        assert multi_pairing(pairs, TOY) == E**exponent

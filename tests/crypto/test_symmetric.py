@@ -1,0 +1,98 @@
+"""ChaCha20 RFC 7539 vectors and SecretBox AEAD behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.symmetric import NONCE_LEN, OVERHEAD, SecretBox, chacha20_xor
+from repro.errors import IntegrityError, ParameterError
+
+
+class TestChaCha20:
+    def test_rfc7539_keystream_vector(self):
+        # RFC 7539 §2.4.2 test vector: key 00..1f, nonce 000000000000004a00000000,
+        # counter 1, plaintext "Ladies and Gentlemen..."
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000000000004a00000000")
+        plaintext = (
+            b"Ladies and Gentlemen of the class of '99: If I could offer you "
+            b"only one tip for the future, sunscreen would be it."
+        )
+        expected = bytes.fromhex(
+            "6e2e359a2568f98041ba0728dd0d6981"
+            "e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b357"
+            "1639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e"
+            "52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42"
+            "874d"
+        )
+        assert chacha20_xor(key, nonce, plaintext, initial_counter=1) == expected
+
+    def test_xor_is_involution(self):
+        key = b"k" * 32
+        nonce = b"n" * NONCE_LEN
+        data = b"some payload bytes" * 10
+        assert chacha20_xor(key, nonce, chacha20_xor(key, nonce, data)) == data
+
+    def test_empty_message(self):
+        assert chacha20_xor(b"k" * 32, b"n" * NONCE_LEN, b"") == b""
+
+    def test_bad_key_length(self):
+        with pytest.raises(ParameterError):
+            chacha20_xor(b"short", b"n" * NONCE_LEN, b"data")
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ParameterError):
+            chacha20_xor(b"k" * 32, b"n" * 5, b"data")
+
+
+class TestSecretBox:
+    def setup_method(self):
+        self.box = SecretBox(SecretBox.generate_key())
+
+    def test_roundtrip(self):
+        assert self.box.open(self.box.seal(b"hello")) == b"hello"
+
+    def test_overhead_constant(self):
+        for size in (0, 1, 100, 4096):
+            sealed = self.box.seal(b"x" * size)
+            assert len(sealed) == size + OVERHEAD
+
+    def test_nonce_freshness(self):
+        assert self.box.seal(b"same") != self.box.seal(b"same")
+
+    def test_tampering_detected(self):
+        sealed = bytearray(self.box.seal(b"payload"))
+        sealed[NONCE_LEN] ^= 0x01
+        with pytest.raises(IntegrityError):
+            self.box.open(bytes(sealed))
+
+    def test_truncation_detected(self):
+        sealed = self.box.seal(b"payload")
+        with pytest.raises(IntegrityError):
+            self.box.open(sealed[:-1])
+
+    def test_too_short_ciphertext(self):
+        with pytest.raises(IntegrityError):
+            self.box.open(b"short")
+
+    def test_wrong_key_fails(self):
+        other = SecretBox(SecretBox.generate_key())
+        with pytest.raises(IntegrityError):
+            other.open(self.box.seal(b"payload"))
+
+    def test_associated_data_bound(self):
+        sealed = self.box.seal(b"payload", associated_data=b"guid-1")
+        assert self.box.open(sealed, associated_data=b"guid-1") == b"payload"
+        with pytest.raises(IntegrityError):
+            self.box.open(sealed, associated_data=b"guid-2")
+
+    def test_bad_key_length(self):
+        with pytest.raises(ParameterError):
+            SecretBox(b"short")
+
+    @settings(max_examples=25)
+    @given(st.binary(max_size=512))
+    def test_roundtrip_property(self, data):
+        assert self.box.open(self.box.seal(data)) == data

@@ -1,0 +1,142 @@
+"""Secure channel layer and RPC endpoint tests."""
+
+import pytest
+
+from repro.errors import ChannelClosedError, NetworkError
+from repro.net.channel import TLS_RECORD_OVERHEAD, SecureChannelLayer
+from repro.net.network import Network
+from repro.net.rpc import RpcEndpoint
+from repro.net.simulator import Simulator
+
+
+def make_pair():
+    sim = Simulator()
+    net = Network(sim)
+    a = SecureChannelLayer(net.add_host("a"))
+    b = SecureChannelLayer(net.add_host("b"))
+    return sim, net, a, b
+
+
+class TestSecureChannel:
+    def test_record_overhead_added(self):
+        sim, net, a, b = make_pair()
+        a.send("b", "t", None, 1000)
+        assert net.trace[0].size_bytes == 1000 + TLS_RECORD_OVERHEAD
+
+    def test_sequence_numbers_increment(self):
+        sim, net, a, b = make_pair()
+        received = []
+
+        def receiver():
+            for _ in range(3):
+                _, message = yield b.receive()
+                received.append(message.headers["seq"])
+
+        sim.process(receiver())
+        for _ in range(3):
+            a.send("b", "t", None, 10)
+        sim.run()
+        assert received == [0, 1, 2]
+
+    def test_loss_detected_via_gap(self):
+        sim, net, a, b = make_pair()
+        net.set_drop_filter(lambda src, dst, message: message.headers.get("seq") == 1)
+
+        def receiver():
+            while True:
+                yield b.receive()
+
+        sim.process(receiver())
+        for _ in range(3):
+            a.send("b", "t", None, 10)
+        sim.run()
+        assert b.gaps_detected("a") == 1
+
+    def test_closed_channel_rejects_send(self):
+        _, _, a, _ = make_pair()
+        a.close()
+        with pytest.raises(ChannelClosedError):
+            a.send("b", "t", None, 10)
+
+
+class TestRpc:
+    def test_call_response(self):
+        sim, net, a, b = make_pair()
+        ra, rb = RpcEndpoint(a), RpcEndpoint(b)
+        rb.serve("double", lambda src, msg: (msg.payload * 2, 8))
+        ra.start(), rb.start()
+        results = []
+
+        def client():
+            results.append((yield ra.call("b", "double", 21, 8)))
+
+        sim.process(client())
+        sim.run()
+        assert results == [42]
+
+    def test_concurrent_calls_correlate(self):
+        sim, net, a, b = make_pair()
+        ra, rb = RpcEndpoint(a), RpcEndpoint(b)
+
+        def slow(src, msg):
+            yield sim.timeout(1.0 if msg.payload == "slow" else 0.0)
+            return ("answer-" + msg.payload, 16)
+
+        rb.serve("work", slow)
+        ra.start(), rb.start()
+        results = {}
+
+        def client(tag):
+            results[tag] = yield ra.call("b", "work", tag, 16)
+
+        sim.process(client("slow"))
+        sim.process(client("fast"))
+        sim.run()
+        assert results == {"slow": "answer-slow", "fast": "answer-fast"}
+
+    def test_duplicate_handler_rejected(self):
+        _, _, a, _ = make_pair()
+        endpoint = RpcEndpoint(a)
+        endpoint.serve("x", lambda s, m: (None, 0))
+        with pytest.raises(NetworkError):
+            endpoint.serve("x", lambda s, m: (None, 0))
+
+    def test_one_way_cast_handler(self):
+        sim, net, a, b = make_pair()
+        ra, rb = RpcEndpoint(a), RpcEndpoint(b)
+        seen = []
+        rb.serve("notify", lambda src, msg: seen.append((src, msg.payload)))
+        ra.start(), rb.start()
+        ra.cast("b", "notify", "hello", 16)
+        sim.run()
+        assert seen == [("a", "hello")]
+
+    def test_unknown_request_ignored(self):
+        sim, net, a, b = make_pair()
+        ra, rb = RpcEndpoint(a), RpcEndpoint(b)
+        ra.start(), rb.start()
+        fired = []
+        reply = ra.call("b", "nope", None, 8)
+        reply.add_callback(lambda event: fired.append(True))
+        sim.run()
+        assert not fired  # no handler: request silently dropped
+
+    def test_generator_handler_simulated_time(self):
+        sim, net, a, b = make_pair()
+        ra, rb = RpcEndpoint(a), RpcEndpoint(b)
+
+        def handler(src, msg):
+            yield sim.timeout(2.0)
+            return ("done", 8)
+
+        rb.serve("work", handler)
+        ra.start(), rb.start()
+        completion = []
+
+        def client():
+            yield ra.call("b", "work", None, 8)
+            completion.append(sim.now)
+
+        sim.process(client())
+        sim.run()
+        assert completion[0] > 2.0

@@ -1,0 +1,66 @@
+"""Bit-encoding helpers for the binary HVE alphabet."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchemaError
+from repro.pbe.encoding import bits_needed, decode_value, encode_value, wildcard_bits
+
+
+class TestBitsNeeded:
+    @pytest.mark.parametrize(
+        "domain,expected",
+        [(2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4), (256, 8)],
+    )
+    def test_widths(self, domain, expected):
+        assert bits_needed(domain) == expected
+
+    def test_paper_mapping(self):
+        # paper §3.1: N attributes × 8 values → 3 bits per attribute
+        assert bits_needed(8) == 3
+
+    def test_tiny_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            bits_needed(1)
+
+
+class TestEncodeDecode:
+    def test_all_values_distinct(self):
+        encodings = [tuple(encode_value(i, 8)) for i in range(8)]
+        assert len(set(encodings)) == 8
+
+    def test_roundtrip_exhaustive(self):
+        for domain in (2, 3, 5, 8, 11):
+            for index in range(domain):
+                assert decode_value(encode_value(index, domain), domain) == index
+
+    def test_big_endian(self):
+        assert encode_value(4, 8) == [1, 0, 0]
+        assert encode_value(1, 8) == [0, 0, 1]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SchemaError):
+            encode_value(8, 8)
+        with pytest.raises(SchemaError):
+            encode_value(-1, 8)
+
+    def test_decode_wrong_width(self):
+        with pytest.raises(SchemaError):
+            decode_value([0, 1], 8)
+
+    def test_decode_out_of_domain(self):
+        # 3 values need 2 bits, but '11' = 3 is outside the domain
+        with pytest.raises(SchemaError):
+            decode_value([1, 1], 3)
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=2, max_value=64), st.data())
+    def test_roundtrip_property(self, domain, data):
+        index = data.draw(st.integers(min_value=0, max_value=domain - 1))
+        assert decode_value(encode_value(index, domain), domain) == index
+
+
+class TestWildcard:
+    def test_spans_attribute_width(self):
+        assert wildcard_bits(8) == [None, None, None]
+        assert wildcard_bits(2) == [None]

@@ -1,0 +1,182 @@
+"""IP08 HVE: match semantics, wildcards, collusion, serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.group import PairingGroup
+from repro.errors import ParameterError, SerializationError
+from repro.pbe.hve import HVE, HVEToken
+from repro.pbe.serialize import (
+    deserialize_hve_ciphertext,
+    deserialize_hve_token,
+    hve_ciphertext_size,
+    hve_token_size,
+    serialize_hve_ciphertext,
+    serialize_hve_token,
+)
+
+GROUP = PairingGroup("TOY")
+SCHEME = HVE(GROUP)
+N = 6
+PUBLIC, MASTER = SCHEME.setup(N)
+GUID = b"guid-0123456789abcdef"
+
+
+def encrypt(bits):
+    return SCHEME.encrypt(PUBLIC, list(bits), GUID)
+
+
+def token(bits):
+    return SCHEME.gen_token(MASTER, list(bits))
+
+
+class TestMatchSemantics:
+    def test_exact_match(self):
+        ct = encrypt([1, 0, 1, 1, 0, 0])
+        assert SCHEME.query(token([1, 0, 1, 1, 0, 0]), ct) == GUID
+
+    def test_single_bit_mismatch(self):
+        ct = encrypt([1, 0, 1, 1, 0, 0])
+        assert SCHEME.query(token([1, 0, 1, 1, 0, 1]), ct) is None
+
+    def test_wildcards_span_positions(self):
+        ct = encrypt([1, 0, 1, 1, 0, 0])
+        assert SCHEME.query(token([1, None, None, 1, None, None]), ct) == GUID
+
+    def test_wildcard_and_mismatch(self):
+        ct = encrypt([1, 0, 1, 1, 0, 0])
+        assert SCHEME.query(token([0, None, None, 1, None, None]), ct) is None
+
+    def test_single_position_token(self):
+        ct = encrypt([1, 0, 1, 1, 0, 0])
+        assert SCHEME.query(token([None, None, None, None, None, 0]), ct) == GUID
+        assert SCHEME.query(token([None, None, None, None, None, 1]), ct) is None
+
+    def test_matches_alias(self):
+        ct = encrypt([0, 0, 0, 0, 0, 0])
+        assert SCHEME.matches(token([0, 0, None, None, None, None]), ct)
+        assert not SCHEME.matches(token([1, None, None, None, None, None]), ct)
+
+    def test_all_zero_vector(self):
+        ct = encrypt([0] * N)
+        assert SCHEME.query(token([0] * N), ct) == GUID
+
+    def test_payload_integrity(self):
+        ct = encrypt([1] * N)
+        assert SCHEME.query(token([1] * N), ct) == GUID
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=N, max_size=N),
+        st.lists(st.sampled_from([0, 1, None]), min_size=N, max_size=N),
+    )
+    def test_query_iff_match(self, x, y):
+        if all(value is None for value in y):
+            return
+        ct = encrypt(x)
+        tok = token(y)
+        expected = all(y_i is None or y_i == x_i for x_i, y_i in zip(x, y))
+        assert (SCHEME.query(tok, ct) == GUID) == expected
+
+
+class TestValidation:
+    def test_bad_vector_length(self):
+        with pytest.raises(ParameterError):
+            SCHEME.encrypt(PUBLIC, [1, 0], GUID)
+
+    def test_bad_bit_value(self):
+        with pytest.raises(ParameterError):
+            SCHEME.encrypt(PUBLIC, [2] * N, GUID)
+
+    def test_bad_interest_length(self):
+        with pytest.raises(ParameterError):
+            SCHEME.gen_token(MASTER, [1, None])
+
+    def test_all_wildcard_rejected(self):
+        with pytest.raises(ParameterError):
+            SCHEME.gen_token(MASTER, [None] * N)
+
+    def test_bad_interest_value(self):
+        with pytest.raises(ParameterError):
+            SCHEME.gen_token(MASTER, [7] + [None] * (N - 1))
+
+    def test_setup_rejects_zero_length(self):
+        with pytest.raises(ParameterError):
+            SCHEME.setup(0)
+
+    def test_token_ciphertext_length_mismatch(self):
+        other_public, other_master = SCHEME.setup(3)
+        ct = SCHEME.encrypt(other_public, [1, 0, 1], GUID)
+        with pytest.raises(ParameterError):
+            SCHEME.query(token([1] + [None] * (N - 1)), ct)
+
+
+class TestIsolationAndCollusion:
+    def test_fresh_setup_tokens_useless(self):
+        ct = encrypt([1, 0, 1, 1, 0, 0])
+        _, other_master = SCHEME.setup(N)
+        foreign = SCHEME.gen_token(other_master, [1, 0, 1, 1, 0, 0])
+        assert SCHEME.query(foreign, ct) is None
+
+    def test_combined_token_halves_fail(self):
+        """Mixing components of two matching tokens must not match.
+
+        Each token shares y₀ afresh, so components from different tokens
+        never sum back to y₀.
+        """
+        ct = encrypt([1, 0, 1, 1, 0, 0])
+        token_a = token([1, 0, None, None, None, None])
+        token_b = token([None, None, 1, 1, None, None])
+        frankenstein = HVEToken(
+            n=N,
+            positions=token_a.positions + token_b.positions,
+            components=token_a.components + token_b.components,
+        )
+        assert SCHEME.query(frankenstein, ct) is None
+
+    def test_subset_of_token_positions_fails(self):
+        """Dropping positions from a token breaks the additive sharing."""
+        full = token([1, 0, 1, None, None, None])
+        truncated = HVEToken(n=N, positions=full.positions[:2], components=full.components[:2])
+        ct = encrypt([1, 0, 1, 1, 0, 0])
+        assert SCHEME.query(truncated, ct) is None
+
+    def test_two_mismatched_tokens_stay_mismatched(self):
+        ct = encrypt([1, 1, 1, 1, 1, 1])
+        assert SCHEME.query(token([0, None, None, None, None, None]), ct) is None
+        assert SCHEME.query(token([None, 0, None, None, None, None]), ct) is None
+
+
+class TestHVESerialization:
+    def test_ciphertext_roundtrip(self):
+        ct = encrypt([1, 0, 1, 1, 0, 0])
+        blob = serialize_hve_ciphertext(GROUP, ct)
+        assert len(blob) == hve_ciphertext_size(GROUP, N, len(GUID))
+        restored = deserialize_hve_ciphertext(GROUP, blob)
+        assert SCHEME.query(token([1, 0, None, None, None, None]), restored) == GUID
+
+    def test_token_roundtrip(self):
+        tok = token([1, 0, None, None, None, 1])
+        blob = serialize_hve_token(GROUP, tok)
+        assert len(blob) == hve_token_size(GROUP, 3)
+        restored = deserialize_hve_token(GROUP, blob)
+        ct = encrypt([1, 0, 1, 1, 0, 1])
+        assert SCHEME.query(restored, ct) == GUID
+
+    def test_truncated_ciphertext_rejected(self):
+        blob = serialize_hve_ciphertext(GROUP, encrypt([1] * N))
+        with pytest.raises(SerializationError):
+            deserialize_hve_ciphertext(GROUP, blob[:-1])
+
+    def test_truncated_token_rejected(self):
+        blob = serialize_hve_token(GROUP, token([1] + [None] * (N - 1)))
+        with pytest.raises(SerializationError):
+            deserialize_hve_token(GROUP, blob[:-1])
+
+    def test_size_formulas_track_n(self):
+        for n in (1, 4, 16):
+            public, master = SCHEME.setup(n)
+            ct = SCHEME.encrypt(public, [0] * n, GUID)
+            assert len(serialize_hve_ciphertext(GROUP, ct)) == hve_ciphertext_size(
+                GROUP, n, len(GUID)
+            )

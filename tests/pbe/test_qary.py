@@ -1,0 +1,145 @@
+"""q-ary (large-alphabet) HVE variant."""
+
+import pytest
+
+from repro.crypto.group import PairingGroup
+from repro.errors import ParameterError, SchemaError
+from repro.pbe import ANY, AttributeSpec, Interest, MetadataSchema
+from repro.pbe.hve import HVE
+from repro.pbe.qary import QaryHVE, QaryToken
+
+GROUP = PairingGroup("TOY")
+SCHEME = QaryHVE(GROUP)
+SIZES = [4, 4, 2]
+PUBLIC, MASTER = SCHEME.setup(SIZES)
+GUID = b"guid-9876543210ff"
+
+
+class TestMatchSemantics:
+    def test_exact_match(self):
+        ciphertext = SCHEME.encrypt(PUBLIC, [2, 1, 0], GUID)
+        assert SCHEME.query(SCHEME.gen_token(MASTER, [2, 1, 0]), ciphertext) == GUID
+
+    def test_symbol_mismatch(self):
+        ciphertext = SCHEME.encrypt(PUBLIC, [2, 1, 0], GUID)
+        assert SCHEME.query(SCHEME.gen_token(MASTER, [3, 1, 0]), ciphertext) is None
+
+    def test_wildcards(self):
+        ciphertext = SCHEME.encrypt(PUBLIC, [2, 1, 0], GUID)
+        assert SCHEME.query(SCHEME.gen_token(MASTER, [None, 1, None]), ciphertext) == GUID
+        assert SCHEME.query(SCHEME.gen_token(MASTER, [None, 3, None]), ciphertext) is None
+
+    def test_all_symbol_values_distinct(self):
+        for symbol in range(4):
+            ciphertext = SCHEME.encrypt(PUBLIC, [symbol, 0, 0], GUID)
+            for wanted in range(4):
+                token = SCHEME.gen_token(MASTER, [wanted, None, None])
+                assert (SCHEME.query(token, ciphertext) == GUID) == (wanted == symbol)
+
+    def test_collusion_resistance(self):
+        ciphertext = SCHEME.encrypt(PUBLIC, [2, 1, 0], GUID)
+        token_a = SCHEME.gen_token(MASTER, [2, None, None])
+        token_b = SCHEME.gen_token(MASTER, [None, 1, None])
+        merged = QaryToken(
+            n=3,
+            positions=token_a.positions + token_b.positions,
+            components=token_a.components + token_b.components,
+        )
+        assert SCHEME.query(merged, ciphertext) is None
+
+
+class TestValidation:
+    def test_bad_alphabet(self):
+        with pytest.raises(ParameterError):
+            SCHEME.setup([4, 1])
+        with pytest.raises(ParameterError):
+            SCHEME.setup([])
+
+    def test_symbol_out_of_range(self):
+        with pytest.raises(ParameterError):
+            SCHEME.encrypt(PUBLIC, [4, 0, 0], GUID)
+
+    def test_vector_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            SCHEME.encrypt(PUBLIC, [0, 0], GUID)
+        with pytest.raises(ParameterError):
+            SCHEME.gen_token(MASTER, [0, 0])
+
+    def test_all_wildcard_rejected(self):
+        with pytest.raises(ParameterError):
+            SCHEME.gen_token(MASTER, [None, None, None])
+
+    def test_token_symbol_out_of_alphabet(self):
+        with pytest.raises(ParameterError):
+            SCHEME.gen_token(MASTER, [9, None, None])
+
+
+class TestSchemaIntegration:
+    def setup_method(self):
+        self.schema = MetadataSchema(
+            [
+                AttributeSpec("topic", ("m&a", "earnings", "litigation", "markets")),
+                AttributeSpec("region", ("us", "eu", "apac", "latam")),
+                AttributeSpec("priority", ("low", "high")),
+            ]
+        )
+        sizes = QaryHVE.sizes_for_schema(self.schema)
+        assert sizes == [4, 4, 2]
+        self.public, self.master = SCHEME.setup(sizes)
+
+    def test_metadata_and_interest_pipeline(self):
+        ciphertext = SCHEME.encrypt_metadata(
+            self.public,
+            self.schema,
+            {"topic": "m&a", "region": "us", "priority": "high"},
+            GUID,
+        )
+        matching = SCHEME.token_for_interest(
+            self.master, self.schema, Interest({"topic": "m&a", "region": ANY})
+        )
+        rival = SCHEME.token_for_interest(
+            self.master, self.schema, Interest({"topic": "earnings"})
+        )
+        assert SCHEME.query(matching, ciphertext) == GUID
+        assert SCHEME.query(rival, ciphertext) is None
+
+    def test_missing_metadata_attribute(self):
+        with pytest.raises(SchemaError):
+            SCHEME.encrypt_metadata(self.public, self.schema, {"topic": "m&a"}, GUID)
+
+    def test_agrees_with_binary_scheme(self):
+        """Both encodings implement the same predicate."""
+        binary = HVE(GROUP)
+        binary_public, binary_master = binary.setup(self.schema.vector_length)
+        metadata = {"topic": "litigation", "region": "eu", "priority": "low"}
+        interests = [
+            Interest({"topic": "litigation"}),
+            Interest({"topic": "m&a"}),
+            Interest({"region": "eu", "priority": "low"}),
+            Interest({"region": "eu", "priority": "high"}),
+        ]
+        qary_ct = SCHEME.encrypt_metadata(self.public, self.schema, metadata, GUID)
+        binary_ct = binary.encrypt(binary_public, self.schema.encode_metadata(metadata), GUID)
+        for interest in interests:
+            qary_hit = SCHEME.query(
+                SCHEME.token_for_interest(self.master, self.schema, interest), qary_ct
+            )
+            binary_hit = binary.query(
+                binary.gen_token(binary_master, self.schema.encode_interest(interest)),
+                binary_ct,
+            )
+            assert (qary_hit == GUID) == (binary_hit == GUID) == interest.matches(metadata)
+
+    def test_fewer_pairings_than_binary(self):
+        """The whole point: one position per attribute."""
+        qary_token = SCHEME.token_for_interest(
+            self.master, self.schema, Interest({"topic": "m&a", "region": "us"})
+        )
+        binary = HVE(GROUP)
+        _, binary_master = binary.setup(self.schema.vector_length)
+        binary_token = binary.gen_token(
+            binary_master,
+            self.schema.encode_interest(Interest({"topic": "m&a", "region": "us"})),
+        )
+        assert len(qary_token.positions) == 2  # vs 4 bit positions
+        assert len(binary_token.positions) == 4

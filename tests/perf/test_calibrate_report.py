@@ -1,0 +1,82 @@
+"""Calibration and report-formatting tests."""
+
+import pytest
+
+from repro.core.config import ComputeTimings
+from repro.perf.calibrate import calibrate
+from repro.perf.params import ModelParams
+from repro.perf.report import format_rate, format_seconds, format_size, format_table, series_table
+
+
+@pytest.fixture(scope="module")
+def result():
+    return calibrate("TOY", vector_bits=6, policy_attributes=2, repetitions=1)
+
+
+class TestCalibration:
+    def test_all_timings_positive(self, result):
+        assert result.pairing_s > 0
+        assert result.pbe_encrypt_s > 0
+        assert result.pbe_match_s > 0
+        assert result.pbe_token_gen_s > 0
+        assert result.cpabe_encrypt_s > 0
+        assert result.cpabe_decrypt_s > 0
+        assert result.pke_op_s > 0
+
+    def test_sizes_match_serializers(self, result):
+        from repro.crypto.group import PairingGroup
+        from repro.pbe.serialize import hve_ciphertext_size
+
+        group = PairingGroup("TOY")
+        assert result.encrypted_metadata_bytes == hve_ciphertext_size(group, 6, 16)
+        assert result.cpabe_overhead_bytes > 0
+
+    def test_as_model_params(self, result):
+        params = result.as_model_params()
+        assert params.pbe_match_s == result.pbe_match_s
+        assert params.encrypted_metadata_bytes == result.encrypted_metadata_bytes
+        # untouched fields keep Table 1 values
+        assert params.num_subscribers == ModelParams().num_subscribers
+
+    def test_as_compute_timings(self, result):
+        timings = result.as_compute_timings()
+        assert isinstance(timings, ComputeTimings)
+        assert timings.pbe_match == result.pbe_match_s
+
+    def test_match_cost_scales_with_vector_length(self):
+        short = calibrate("TOY", vector_bits=4, policy_attributes=2, repetitions=1)
+        long = calibrate("TOY", vector_bits=16, policy_attributes=2, repetitions=1)
+        assert long.pbe_match_s > short.pbe_match_s
+        assert long.encrypted_metadata_bytes > short.encrypted_metadata_bytes
+
+
+class TestReportFormatting:
+    def test_format_size(self):
+        assert format_size(512) == "512 B"
+        assert format_size(10_000) == "10 KB"
+        assert format_size(3_000_000) == "3 MB"
+        assert format_size(2_500_000_000) == "2.5 GB"
+
+    def test_format_seconds(self):
+        assert format_seconds(2.5) == "2.5 s"
+        assert format_seconds(0.038) == "38 ms"
+        assert format_seconds(0.00005) == "50 µs"
+
+    def test_format_rate(self):
+        assert format_rate(250.0) == "250/s"
+        assert format_rate(0.025) == "0.025/s"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_series_table(self):
+        text = series_table(
+            [1_000, 1_000_000],
+            {"latency": [0.1, 2.0]},
+            title="demo",
+        )
+        assert "1 KB" in text and "1 MB" in text
+        assert "100 ms" in text and "2 s" in text

@@ -1,0 +1,33 @@
+"""The shipped examples must run clean end to end (they assert internally)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "ma_deal_feed.py",
+        "coalition_intel.py",
+        "private_chat.py",
+        "hardened_deployment.py",
+    ],
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_quickstart_output_content(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "alice received" in output
+    assert "bob received nothing" in output
+    assert "anon" in output
