@@ -9,6 +9,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core import P3SConfig, P3SSystem
+from repro.obs import Observability
 from repro.pbe import ANY, AttributeSpec, Interest, MetadataSchema
 
 
@@ -20,7 +21,8 @@ def main() -> None:
             AttributeSpec("priority", ("routine", "urgent")),
         ]
     )
-    system = P3SSystem(P3SConfig(schema=schema))
+    obs = Observability()  # optional: trace every hop + count crypto ops
+    system = P3SSystem(P3SConfig(schema=schema, obs=obs))
 
     # 2. Subscribers register with the ARA (getting CP-ABE keys for their
     #    attributes) and obtain PBE tokens for their interests.
@@ -59,6 +61,12 @@ def main() -> None:
           f"from sources {sorted(set(system.pbe_ts.observed_sources))} (anonymized)")
     print(f"RS stored {system.rs.stored_count} encrypted payload(s), "
           f"served {system.rs.request_count(record.guid)} anonymous request(s)")
+
+    # 6. The observability subsystem recorded the whole causal story:
+    #    one span tree per root operation, plus crypto-op counters.
+    print()
+    print(obs.summary())
+    obs.uninstall()
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from ..crypto.curve import Point
 from ..crypto.field import Fq2
 from ..crypto.group import PairingGroup
 from ..errors import PolicyError, PolicyNotSatisfiedError
+from ..obs.profile import instrument
 from .policy import PolicyNode, parse_policy
 
 __all__ = ["CPABE", "CPABEPublicKey", "CPABEMasterKey", "CPABESecretKey", "CPABECiphertext"]
@@ -97,6 +98,7 @@ class CPABE:
 
     # -- KeyGen ---------------------------------------------------------------
 
+    @instrument("abe.keygen")
     def keygen(self, master: CPABEMasterKey, attributes: set[str]) -> CPABESecretKey:
         if not attributes:
             raise PolicyError("attribute set must be non-empty")
@@ -146,6 +148,7 @@ class CPABE:
 
     # -- Encrypt -----------------------------------------------------------------
 
+    @instrument("abe.encrypt")
     def encrypt(self, public: CPABEPublicKey, message: Fq2, policy: PolicyNode | str) -> CPABECiphertext:
         group = self.group
         tree = parse_policy(policy)
@@ -164,6 +167,7 @@ class CPABE:
 
     # -- Decrypt ------------------------------------------------------------------
 
+    @instrument("abe.decrypt")
     def decrypt(self, key: CPABESecretKey, ciphertext: CPABECiphertext) -> Fq2:
         """Recover the GT message; raises :class:`PolicyNotSatisfiedError`."""
         attributes = set(key.attributes)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from ..core.config import ComputeTimings
 from ..net.channel import SecureChannelLayer
 from ..net.network import Host
+from ..obs import profile as obs
 from ..pbe.schema import Interest
 
 __all__ = ["BaselineBroker", "BaselinePublication"]
@@ -84,18 +85,29 @@ class BaselineBroker:
                 self.subscriptions.append(_Subscription(src, message.payload))
             elif message.msg_type == MSG_PUBLISH:
                 self.published_count += 1
-                yield from self._match_and_deliver(message.payload)
+                yield from self._match_and_deliver(message)
 
-    def _match_and_deliver(self, publication: BaselinePublication):
+    def _match_and_deliver(self, message):
+        publication: BaselinePublication = message.payload
+        span = obs.start_span(
+            "baseline.match",
+            component=self.name,
+            parent=obs.extract(message.headers),
+            subscriptions=len(self.subscriptions),
+        )
         # The broker tests the publication against ALL registered
         # subscriptions (t2 = 0.05ms × N_s in the latency model).
         yield self.sim.timeout(self.timings.baseline_match * max(1, len(self.subscriptions)))
+        matched = 0
         for subscription in self.subscriptions:
             if subscription.interest.matches(publication.metadata):
+                matched += 1
                 self.delivered_count += 1
                 self.channel.send(
                     subscription.subscriber,
                     MSG_DELIVER,
                     publication,
                     publication.wire_size,
+                    headers=obs.inject({}, span),
                 )
+        obs.end_span(span, matched=matched)

@@ -9,6 +9,7 @@ from ..core.config import ComputeTimings
 from ..net.channel import SecureChannelLayer
 from ..net.network import Network
 from ..net.simulator import Simulator
+from ..obs import profile as obs_profile
 from ..pbe.schema import Interest
 from .broker import MSG_DELIVER, MSG_PUBLISH, MSG_SUBSCRIBE, BaselineBroker, BaselinePublication
 
@@ -58,6 +59,15 @@ class BaselineSubscriber:
                     delivered_at=self.system.sim.now,
                 )
             )
+            obs_profile.end_span(
+                obs_profile.start_span(
+                    "deliver",
+                    component=self.name,
+                    parent=obs_profile.extract(message.headers),
+                    publication_id=publication.publication_id,
+                    bytes=len(publication.payload),
+                )
+            )
 
 
 class BaselinePublisher:
@@ -76,9 +86,18 @@ class BaselinePublisher:
             publication_id=next(self._ids), metadata=dict(metadata), payload=payload
         )
         self.published.append((publication.publication_id, self.system.sim.now))
-        self.channel.send(
-            self.system.broker.name, MSG_PUBLISH, publication, publication.wire_size
-        )
+        with obs_profile.span(
+            "publish",
+            component=self.name,
+            publication_id=publication.publication_id,
+        ) as span:
+            self.channel.send(
+                self.system.broker.name,
+                MSG_PUBLISH,
+                publication,
+                publication.wire_size,
+                headers=obs_profile.inject({}, span),
+            )
         return publication.publication_id
 
 
@@ -90,8 +109,13 @@ class BaselineSystem:
         bandwidth_bps: float = 10_000_000,
         latency_s: float = 0.045,
         timings: ComputeTimings | None = None,
+        obs=None,
     ):
         self.sim = Simulator()
+        self.obs = obs
+        if self.obs is not None:
+            self.obs.bind_clock(lambda: self.sim.now)
+            self.obs.install()
         self.network = Network(self.sim, default_bandwidth_bps=bandwidth_bps, latency_s=latency_s)
         self.timings = timings or ComputeTimings()
         self.broker = BaselineBroker(self.network.add_host("broker"), self.timings)

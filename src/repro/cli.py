@@ -103,20 +103,42 @@ def _cmd_demo(args) -> None:
     from .core import P3SConfig, P3SSystem
     from .pbe import ANY, AttributeSpec, Interest, MetadataSchema
 
+    observability = None
+    if args.trace or args.trace_out or args.metrics_out:
+        from .obs import Observability
+
+        observability = Observability()
+
     schema = MetadataSchema([
         AttributeSpec("topic", ("alpha", "beta", "gamma", "delta")),
     ])
-    system = P3SSystem(P3SConfig(schema=schema))
-    alice = system.add_subscriber("alice", {"clearance"})
-    system.subscribe(alice, Interest({"topic": "alpha"}))
-    system.run()
-    publisher = system.add_publisher("pub")
-    system.run()
-    record = publisher.publish({"topic": "alpha"}, b"hello, private world", policy="clearance")
-    system.run()
-    (delivery,) = system.deliveries_for(record)
-    print(f"delivered {delivery.payload!r} in {delivery.delivered_at - record.submitted_at:.3f}s "
-          f"(simulated); PBE-TS saw sources {sorted(set(system.pbe_ts.observed_sources))}")
+    system = P3SSystem(P3SConfig(schema=schema, obs=observability))
+    try:
+        alice = system.add_subscriber("alice", {"clearance"})
+        system.subscribe(alice, Interest({"topic": "alpha"}))
+        system.run()
+        publisher = system.add_publisher("pub")
+        system.run()
+        record = publisher.publish({"topic": "alpha"}, b"hello, private world", policy="clearance")
+        system.run()
+        (delivery,) = system.deliveries_for(record)
+        print(f"delivered {delivery.payload!r} in {delivery.delivered_at - record.submitted_at:.3f}s "
+              f"(simulated); PBE-TS saw sources {sorted(set(system.pbe_ts.observed_sources))}")
+        if observability is not None:
+            if args.trace:
+                print()
+                print(observability.format_tree())
+                print()
+                print(observability.format_ops())
+            if args.trace_out:
+                observability.write_spans(args.trace_out)
+                print(f"wrote spans to {args.trace_out}")
+            if args.metrics_out:
+                observability.write_metrics(args.metrics_out)
+                print(f"wrote metrics to {args.metrics_out}")
+    finally:
+        if observability is not None:
+            observability.uninstall()
 
 
 def _cmd_attacks(args) -> None:
@@ -169,6 +191,18 @@ def build_parser() -> argparse.ArgumentParser:
     cal.set_defaults(func=_cmd_calibrate)
 
     demo = sub.add_parser("demo", help="one publication end to end")
+    demo.add_argument(
+        "--trace", action="store_true",
+        help="print the causal span tree and crypto-op summary",
+    )
+    demo.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write spans as JSON lines to PATH",
+    )
+    demo.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the metrics registry as CSV to PATH",
+    )
     demo.set_defaults(func=_cmd_demo)
 
     attacks = sub.add_parser("attacks", help="run the §6.1 token attacks")

@@ -19,6 +19,7 @@ from __future__ import annotations
 from ..net.channel import SecureChannelLayer
 from ..net.network import Host
 from ..net.rpc import RpcEndpoint
+from ..obs import profile as obs
 from .messages import RPC_ANON_FORWARD, AnonEnvelope, wire_size_of
 
 __all__ = ["AnonymizationService"]
@@ -46,10 +47,18 @@ class AnonymizationService:
         envelope: AnonEnvelope = message.payload
         self.observed_links.append((src, envelope.dst))
         self.forwarded_count += 1
+        span = obs.start_span(
+            "anon.forward",
+            component=self.name,
+            parent=obs.extract(message.headers),
+            dst=envelope.dst,
+        )
         response = yield self.rpc.call(
             envelope.dst,
             envelope.inner_type,
             envelope.inner_payload,
             wire_size_of(envelope.inner_payload),
+            headers=obs.inject({}, span),
         )
+        obs.end_span(span)
         return (response, wire_size_of(response))

@@ -86,6 +86,10 @@ class P3SConfig:
     # open model ("legitimate clients may, within a metadata space,
     # register any subscription", §2)
     subscription_policy: object | None = None
+    # a repro.obs.Observability instance to trace/profile this deployment
+    # (installed process-wide on system construction), or None: every
+    # instrumentation hook stays a no-op
+    obs: object | None = None
 
     def with_(self, **overrides) -> "P3SConfig":
         """A copy with the given fields replaced."""

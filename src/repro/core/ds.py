@@ -26,6 +26,7 @@ from ..mq import messages as frames
 from ..mq.broker import Broker
 from ..mq.messages import JmsFrame
 from ..net.network import Host, Message
+from ..obs import profile as obs
 from .messages import KIND_METADATA, KIND_PAYLOAD, RPC_STORE, PayloadSubmission
 
 __all__ = ["DisseminationServer"]
@@ -50,7 +51,16 @@ class DisseminationServer(Broker):
             self.publications_by_publisher[src] += 1
             self.observed_sizes.append((KIND_METADATA, frame.body_size))
             # forward PBE-encrypted metadata to ALL registered subscribers
-            self.fan_out(self.metadata_topic, frame)
+            with obs.span(
+                "ds.fan_out",
+                component=self.name,
+                parent=obs.extract(frame.headers),
+                subscribers=self.registered_subscriber_count,
+            ) as span:
+                # re-parent the propagated context so each subscriber's
+                # match span hangs off this fan-out hop
+                obs.inject(frame.headers, span)
+                self.fan_out(self.metadata_topic, frame)
         elif kind == KIND_PAYLOAD:
             self.observed_sizes.append((KIND_PAYLOAD, frame.body_size))
             self._forward_to_rs(frame)
@@ -61,7 +71,16 @@ class DisseminationServer(Broker):
 
     def _forward_to_rs(self, frame: JmsFrame) -> None:
         submission: PayloadSubmission = frame.body
-        self.channel.send(self.rs_name, RPC_STORE, submission, submission.wire_size)
+        with obs.span(
+            "ds.forward_rs", component=self.name, parent=obs.extract(frame.headers)
+        ) as span:
+            self.channel.send(
+                self.rs_name,
+                RPC_STORE,
+                submission,
+                submission.wire_size,
+                headers=obs.inject({}, span),
+            )
 
     @property
     def registered_subscriber_count(self) -> int:

@@ -27,12 +27,13 @@ class LatencyStats:
     mean: float
     median: float
     p95: float
+    p99: float
     maximum: float
 
     @classmethod
     def from_values(cls, values: list[float]) -> "LatencyStats":
         if not values:
-            return cls(0, 0.0, 0.0, 0.0, 0.0)
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
         ordered = sorted(values)
 
         def percentile(fraction: float) -> float:
@@ -44,6 +45,7 @@ class LatencyStats:
             mean=sum(ordered) / len(ordered),
             median=percentile(0.5),
             p95=percentile(0.95),
+            p99=percentile(0.99),
             maximum=ordered[-1],
         )
 
@@ -135,10 +137,37 @@ class MetricsCollector:
         return 1.0 if expected == 0 else delivered / expected
 
     def component_bytes(self) -> dict[str, tuple[int, int]]:
-        """Per-host (sent, received) byte counters — the bandwidth story."""
+        """Per-host (sent, received) byte counters — the bandwidth story.
+
+        When the system runs with an :class:`repro.obs.Observability`
+        instance installed, the counters come from the ``net.bytes``
+        metric registry (one source of truth for the wire accounting);
+        otherwise they fall back to the per-host counters.
+        """
+        if self.system.obs is not None and not self.system.obs.metrics.empty:
+            registry = self.system.obs.metrics
+            sent = registry.counters_by_label("net.bytes", "src")
+            received = registry.counters_by_label("net.bytes", "dst")
+            return {
+                name: (int(sent.get(name, 0)), int(received.get(name, 0)))
+                for name in self.system.network.hosts
+            }
         return {
             name: (host.bytes_sent, host.bytes_received)
             for name, host in self.system.network.hosts.items()
+        }
+
+    def crypto_op_counts(self) -> dict[str, int]:
+        """Total crypto-operation counters (``op.*``) from the registry.
+
+        Empty when the system runs without observability installed.
+        """
+        if self.system.obs is None:
+            return {}
+        return {
+            name: self.system.obs.metrics.counter_total(name)
+            for name in self.system.obs.metrics.counter_names()
+            if name.startswith("op.")
         }
 
     # -- export --------------------------------------------------------------------

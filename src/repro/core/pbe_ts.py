@@ -27,6 +27,7 @@ from ..errors import CertificateError, DecryptionError, SchemaError, TokenReques
 from ..net.network import Host
 from ..net.rpc import RpcEndpoint
 from ..net.channel import SecureChannelLayer
+from ..obs import profile as obs
 from ..pbe.hve import HVE, HVEMasterKey
 from ..pbe.schema import ANY, Interest, MetadataSchema
 from ..pbe.serialize import serialize_hve_token
@@ -158,11 +159,19 @@ class PBETokenServer:
 
     def _handle_token_request(self, src: str, message):
         self.observed_sources.append(src)  # with the anonymizer this is never a subscriber
+        span = obs.start_span(
+            "pbe_ts.token_request",
+            component=self.name,
+            parent=obs.extract(message.headers),
+        )
         yield self.sim.timeout(self.timings.pke_op)
         try:
-            session_key, certificate, interest = self._open_request(message.payload)
+            with obs.attach(span):
+                session_key, certificate, interest = self._open_request(message.payload)
         except TokenRequestError:
+            obs.end_span(span, status="malformed")
             return (_ERR, 1)  # cannot even recover K_s; reply with a bare error
+        status = "ok"
         try:
             self._validate(certificate)
             self.observed_subjects.append(certificate.subject)
@@ -174,15 +183,19 @@ class PBETokenServer:
                     self._issued_by_subject[certificate.subject],
                 )
             yield self.sim.timeout(self.timings.pbe_token_gen)
-            token = self.hve.gen_token(self._master, self.schema.encode_interest(interest))
+            with obs.attach(span):
+                token = self.hve.gen_token(self._master, self.schema.encode_interest(interest))
             token_bytes = serialize_hve_token(self.hve.group, token)
             self.tokens_issued += 1
             self._issued_by_subject[certificate.subject] += 1
             reply = _OK + token_bytes
         except (CertificateError, SchemaError, TokenRequestError) as exc:
             reply = _ERR + str(exc).encode("utf-8")
+            status = "refused"
         yield self.sim.timeout(self.timings.symmetric(len(reply)))
-        sealed = SecretBox(session_key).seal(reply)
+        with obs.attach(span):
+            sealed = SecretBox(session_key).seal(reply)
+        obs.end_span(span, status=status)
         return (sealed, len(sealed))
 
     def _open_request(self, payload: bytes) -> tuple[bytes, Certificate, Interest]:

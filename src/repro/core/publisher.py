@@ -24,6 +24,7 @@ from ..abe.policy import PolicyNode
 from ..abe.serialize import serialize_hybrid
 from ..crypto.group import PairingGroup
 from ..mq.client import JmsConnection
+from ..obs import profile as obs
 from ..pbe.hve import HVE
 from ..pbe.serialize import serialize_hve_ciphertext
 from .ara import PublisherCredentials
@@ -114,32 +115,48 @@ class Publisher:
     def _publish_process(self, record: PublicationRecord, payload: bytes):
         record.submitted_at = self.sim.now
         schema = self.credentials.schema
+        root = obs.start_span(
+            "publish",
+            component=self.name,
+            publication_id=record.publication_id,
+        )
 
         # Step 1-2: PBE-encrypt the GUID under the metadata, send to DS.
+        step = obs.start_span("pbe.encrypt", component=self.name, parent=root)
         yield self.sim.timeout(self.timings.pbe_encrypt)
-        attribute_vector = schema.encode_metadata(record.metadata)
-        hve_ciphertext = self.hve.encrypt(
-            self.credentials.hve_public_key, attribute_vector, record.guid
-        )
-        hve_bytes = serialize_hve_ciphertext(self.group, hve_ciphertext)
+        with obs.attach(step):
+            attribute_vector = schema.encode_metadata(record.metadata)
+            hve_ciphertext = self.hve.encrypt(
+                self.credentials.hve_public_key, attribute_vector, record.guid
+            )
+            hve_bytes = serialize_hve_ciphertext(self.group, hve_ciphertext)
         record.metadata_bytes = len(hve_bytes)
+        obs.end_span(step, bytes=record.metadata_bytes)
         envelope = EncryptedMetadata(hve_bytes=hve_bytes, publication_id=record.publication_id)
         self._producer.send(
-            envelope, envelope.wire_size, headers={"p3s-kind": KIND_METADATA}
+            envelope,
+            envelope.wire_size,
+            headers=obs.inject({"p3s-kind": KIND_METADATA}, root),
         )
 
         # Step 3: CP-ABE-encrypt (GUID, payload) under the policy, send to DS→RS.
+        step = obs.start_span("abe.encrypt", component=self.name, parent=root)
         yield self.sim.timeout(
             self.timings.cpabe_encrypt + self.timings.symmetric(len(payload))
         )
-        hybrid = self.cpabe.encrypt(
-            self.credentials.cpabe_public_key, record.guid + payload, record.policy
-        )
-        ciphertext = serialize_hybrid(self.group, hybrid)
+        with obs.attach(step):
+            hybrid = self.cpabe.encrypt(
+                self.credentials.cpabe_public_key, record.guid + payload, record.policy
+            )
+            ciphertext = serialize_hybrid(self.group, hybrid)
         record.payload_bytes = len(ciphertext)
+        obs.end_span(step, bytes=record.payload_bytes)
         submission = PayloadSubmission(
             guid=record.guid, ciphertext=ciphertext, ttl_s=record.ttl_s
         )
         self._producer.send(
-            submission, submission.wire_size, headers={"p3s-kind": KIND_PAYLOAD}
+            submission,
+            submission.wire_size,
+            headers=obs.inject({"p3s-kind": KIND_PAYLOAD}, root),
         )
+        obs.end_span(root)

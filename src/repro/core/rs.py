@@ -30,6 +30,7 @@ from ..errors import DecryptionError, RetrievalError
 from ..net.channel import SecureChannelLayer
 from ..net.network import Host
 from ..net.rpc import RpcEndpoint
+from ..obs import profile as obs
 from .config import ComputeTimings
 from .messages import RPC_RETRIEVE, RPC_STORE, PayloadSubmission
 
@@ -112,12 +113,18 @@ class RepositoryServer:
         if self.crashed:
             return  # frames to a crashed RS are lost
         submission: PayloadSubmission = message.payload
-        self._items[submission.guid] = _StoredItem(
-            ciphertext=submission.ciphertext,
-            stored_at=self.sim.now,
-            expires_at=self.sim.now + submission.ttl_s + self.t_g,
-        )
-        self.stored_count += 1
+        with obs.span(
+            "rs.store",
+            component=self.name,
+            parent=obs.extract(message.headers),
+            bytes=len(submission.ciphertext),
+        ):
+            self._items[submission.guid] = _StoredItem(
+                ciphertext=submission.ciphertext,
+                stored_at=self.sim.now,
+                expires_at=self.sim.now + submission.ttl_s + self.t_g,
+            )
+            self.stored_count += 1
 
     # -- retrieve (request-response via anonymizer) ---------------------------------
 
@@ -125,22 +132,31 @@ class RepositoryServer:
         if self.crashed:
             return (b"", 1)  # degenerate reply; requester's unseal fails
         self.observed_sources.append(src)
+        span = obs.start_span(
+            "rs.retrieve", component=self.name, parent=obs.extract(message.headers)
+        )
         yield self.sim.timeout(self.timings.pke_op)
         try:
-            body = json.loads(self.pke.decrypt(message.payload).decode("utf-8"))
+            with obs.attach(span):
+                body = json.loads(self.pke.decrypt(message.payload).decode("utf-8"))
             session_key = bytes.fromhex(body["ks"])
             guid = bytes.fromhex(body["guid"])
         except (DecryptionError, ValueError, KeyError):
+            obs.end_span(span, status="malformed")
             return (_ERR, 1)
         item = self._items.get(guid)
         if item is None or self.sim.now >= item.expires_at:
             self.failed_retrievals += 1
             reply = _ERR + b"no such item (unknown GUID or expired)"
+            status = "miss"
         else:
             item.request_count += 1
             reply = _OK + item.ciphertext
+            status = "hit"
         yield self.sim.timeout(self.timings.symmetric(len(reply)))
-        sealed = SecretBox(session_key).seal(reply)
+        with obs.attach(span):
+            sealed = SecretBox(session_key).seal(reply)
+        obs.end_span(span, status=status, bytes=len(sealed))
         return (sealed, len(sealed))
 
     # -- garbage collection (§4.3 Deletion) --------------------------------------------

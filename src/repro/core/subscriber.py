@@ -29,6 +29,7 @@ from ..crypto.group import PairingGroup
 from ..crypto.symmetric import SecretBox
 from ..errors import DecryptionError, RetrievalError, TokenRequestError
 from ..mq.client import JmsConnection
+from ..obs import profile as obs
 from ..pbe.hve import HVE, HVEToken
 from ..pbe.schema import Interest
 from ..pbe.serialize import deserialize_hve_ciphertext, deserialize_hve_token
@@ -122,29 +123,35 @@ class Subscriber:
         return self.sim.process(self._subscribe_process(interest))
 
     def _subscribe_process(self, interest: Interest):
+        root = obs.start_span("subscribe", component=self.name)
         if self.local_token_source is not None:
             # §8 future-work configuration: mint the token locally — the
             # plaintext predicate never leaves the subscriber.
             yield self.sim.timeout(self.timings.pbe_token_gen)
-            token = self.local_token_source.gen_token(interest)
+            with obs.attach(root):
+                token = self.local_token_source.gen_token(interest)
             self.tokens.append((interest, token))
+            obs.end_span(root, local=True)
             return token
         session_key = SecretBox.generate_key()
-        body = encode_token_request(
-            session_key, self.credentials.certificate, interest, self.group.zr_bytes
-        )
+        with obs.attach(root):
+            body = encode_token_request(
+                session_key, self.credentials.certificate, interest, self.group.zr_bytes
+            )
         yield self.sim.timeout(self.timings.pke_op)
         request = self.directory.pbe_ts_public_key.encrypt(body)
         sealed = yield self._anonymized_call(
-            self.directory.pbe_ts_name, RPC_TOKEN_REQUEST, request
+            self.directory.pbe_ts_name, RPC_TOKEN_REQUEST, request, span=root
         )
         yield self.sim.timeout(self.timings.symmetric(len(sealed)))
         try:
             token_bytes = decode_token_response(session_key, sealed)
         except (TokenRequestError, DecryptionError) as exc:
+            obs.end_span(root, status="refused")
             raise TokenRequestError(f"{self.name}: token request failed: {exc}") from exc
         token = deserialize_hve_token(self.group, token_bytes)
         self.tokens.append((interest, token))
+        obs.end_span(root, status="ok")
         return token
 
     def unsubscribe(self, interest: Interest) -> bool:
@@ -183,30 +190,48 @@ class Subscriber:
     # -- metadata matching (local, on every DS broadcast) -----------------------
 
     def _on_metadata(self, frame) -> None:
-        self.sim.process(self._match_process(frame.body))
+        self.sim.process(self._match_process(frame.body, obs.extract(frame.headers)))
 
-    def _match_process(self, envelope: EncryptedMetadata):
+    def _match_process(self, envelope: EncryptedMetadata, parent=None):
         self.stats.metadata_seen += 1
-        ciphertext = deserialize_hve_ciphertext(self.group, envelope.hve_bytes)
+        span = obs.start_span(
+            "subscriber.match",
+            component=self.name,
+            parent=parent,
+            publication_id=envelope.publication_id,
+        )
+        with obs.attach(span):
+            ciphertext = deserialize_hve_ciphertext(self.group, envelope.hve_bytes)
         guid = None
+        attempts = 0
         for _, token in self.tokens:
             yield self.sim.timeout(self.timings.pbe_match)
-            guid = self.hve.query(token, ciphertext)
+            attempts += 1
+            with obs.attach(span):
+                guid = self.hve.query(token, ciphertext)
             if guid is not None:
                 break
+        obs.end_span(span, matched=guid is not None, attempts=attempts)
         if guid is None:
             self.stats.non_matches += 1
             return
         self.stats.matches += 1
-        yield from self._retrieve_process(guid, envelope.publication_id)
+        yield from self._retrieve_process(guid, envelope.publication_id, parent=span)
 
     # -- retrieval (Fig. 4) ------------------------------------------------------
 
-    def _retrieve_process(self, guid: bytes, publication_id: int):
+    def _retrieve_process(self, guid: bytes, publication_id: int, parent=None):
         # Retries cover the protocol's inherent race: a fast matcher can
         # request a payload before the DS→RS content submission lands
         # (the paper's t_f/t_b decomposition takes max() for this reason).
+        span = obs.start_span(
+            "subscriber.retrieve",
+            component=self.name,
+            parent=parent,
+            publication_id=publication_id,
+        )
         ciphertext_bytes = None
+        attempt = 0
         for attempt in range(self.retrieval_retries + 1):
             if attempt:
                 yield self.sim.timeout(self.retry_delay_s)
@@ -214,7 +239,9 @@ class Subscriber:
             body = encode_retrieval_request(session_key, guid)
             yield self.sim.timeout(self.timings.pke_op)
             request = self.directory.rs_public_key.encrypt(body)
-            sealed = yield self._anonymized_call(self.directory.rs_name, RPC_RETRIEVE, request)
+            sealed = yield self._anonymized_call(
+                self.directory.rs_name, RPC_RETRIEVE, request, span=span
+            )
             yield self.sim.timeout(self.timings.symmetric(len(sealed)))
             try:
                 ciphertext_bytes = decode_retrieval_response(session_key, sealed)
@@ -223,21 +250,28 @@ class Subscriber:
                 continue
         if ciphertext_bytes is None:
             self.stats.failed_fetches += 1
+            obs.end_span(span, status="failed_fetch", attempts=attempt + 1)
             return
+        step = obs.start_span("abe.decrypt", component=self.name, parent=span)
         yield self.sim.timeout(
             self.timings.cpabe_decrypt + self.timings.symmetric(len(ciphertext_bytes))
         )
         try:
-            plaintext = self.cpabe.decrypt(
-                self.credentials.cpabe_secret_key,
-                deserialize_hybrid(self.group, ciphertext_bytes),
-            )
+            with obs.attach(step):
+                plaintext = self.cpabe.decrypt(
+                    self.credentials.cpabe_secret_key,
+                    deserialize_hybrid(self.group, ciphertext_bytes),
+                )
         except DecryptionError:
             self.stats.access_denied += 1
+            obs.end_span(step, status="denied")
+            obs.end_span(span, status="access_denied", attempts=attempt + 1)
             return
+        obs.end_span(step)
         recovered_guid, payload = plaintext[: self.guid_bytes], plaintext[self.guid_bytes :]
         if recovered_guid != guid:
             self.stats.access_denied += 1  # treat as undecodable
+            obs.end_span(span, status="guid_mismatch", attempts=attempt + 1)
             return
         delivery = Delivery(
             publication_id=publication_id,
@@ -246,15 +280,32 @@ class Subscriber:
             delivered_at=self.sim.now,
         )
         self.stats.deliveries.append(delivery)
+        obs.end_span(
+            obs.start_span(
+                "deliver",
+                component=self.name,
+                parent=span,
+                publication_id=publication_id,
+                bytes=len(payload),
+            )
+        )
+        obs.end_span(span, status="delivered", attempts=attempt + 1)
         if self.on_payload is not None:
             self.on_payload(delivery)
 
     # -- transport helper ------------------------------------------------------------
 
-    def _anonymized_call(self, dst: str, msg_type: str, request: bytes):
+    def _anonymized_call(self, dst: str, msg_type: str, request: bytes, span=None):
+        headers = obs.inject({}, span)
         if self.use_anonymizer and self.directory.anonymizer_name:
             envelope = AnonEnvelope(dst=dst, inner_type=msg_type, inner_payload=request)
             return self.connection.endpoint.call(
-                self.directory.anonymizer_name, RPC_ANON_FORWARD, envelope, envelope.wire_size
+                self.directory.anonymizer_name,
+                RPC_ANON_FORWARD,
+                envelope,
+                envelope.wire_size,
+                headers=headers,
             )
-        return self.connection.endpoint.call(dst, msg_type, request, len(request))
+        return self.connection.endpoint.call(
+            dst, msg_type, request, len(request), headers=headers
+        )

@@ -43,6 +43,12 @@ class P3SSystem:
     def __init__(self, config: P3SConfig | None = None):
         self.config = config or P3SConfig()
         self.sim = Simulator()
+        self.obs = self.config.obs
+        if self.obs is not None:
+            # bind span timestamps to this simulator's clock and become
+            # the process-wide sink for the instrumentation hooks
+            self.obs.bind_clock(lambda: self.sim.now)
+            self.obs.install()
         self.network = Network(
             self.sim,
             default_bandwidth_bps=self.config.bandwidth_bps,

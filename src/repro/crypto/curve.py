@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 
 from ..errors import NotOnCurveError, SerializationError
+from ..obs.profile import record_op
 from .field import fq_is_square, fq_sqrt
 from .params import TypeAParams
 
@@ -106,6 +107,7 @@ class Point:
             return (-self) * (-k)
         if k == 0 or self.is_infinity:
             return Point.infinity(self.params)
+        record_op("g1_exp")
         if k.bit_length() > 32:
             return self.scalar_mul_windowed(k)
         result = Point.infinity(self.params)

@@ -17,6 +17,7 @@ multiplications (Karatsuba-style 3-mult product, 2-mult squaring).
 from __future__ import annotations
 
 from ..errors import ParameterError
+from ..obs.profile import record_op
 
 __all__ = ["Fq2", "fq_inv", "fq_sqrt", "fq_is_square"]
 
@@ -136,6 +137,7 @@ class Fq2:
     def __pow__(self, exponent: int) -> "Fq2":
         if exponent < 0:
             return self.inverse() ** (-exponent)
+        record_op("gt_exp")
         result = Fq2.one(self.q)
         base = self
         while exponent:

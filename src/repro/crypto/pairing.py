@@ -25,6 +25,7 @@ evaluated (see DESIGN.md §5 for the ablation bench).
 from __future__ import annotations
 
 from ..errors import ParameterError
+from ..obs.profile import record_op
 from .curve import Point
 from .field import Fq2
 from .params import TypeAParams
@@ -98,6 +99,7 @@ def final_exponentiation(f: Fq2, params: TypeAParams) -> Fq2:
     Split as ``(q − 1) · (q + 1)/r``; the first factor is the cheap
     Frobenius step ``f̄ / f`` (conjugation is ``f^q`` in ``F_q²``).
     """
+    record_op("final_exp")
     easy = f.conjugate() * f.inverse()
     return easy ** ((params.q + 1) // params.r)
 
@@ -111,6 +113,7 @@ def tate_pairing(p: Point, q_point: Point) -> Fq2:
     params = p.params
     if p.is_infinity or q_point.is_infinity:
         return Fq2.one(params.q)
+    record_op("pairing")
     return final_exponentiation(miller_loop(p, q_point), params)
 
 
@@ -135,6 +138,8 @@ def multi_pairing(pairs: list[tuple[Point, Point]], params: TypeAParams) -> Fq2:
         live.append([p.x, p.y, p.x, p.y, qp.x, qp.y, 0])
     if not live:
         return Fq2.one(q)
+    record_op("pairing", len(live))
+    record_op("multi_pairing")
 
     f_a, f_b = 1, 0
     for bit in bin(params.r)[3:]:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..errors import RoutingError
+from ..obs import profile as obs
 from .simulator import Simulator, Store
 
 __all__ = ["Message", "Host", "Network", "WireRecord"]
@@ -145,12 +146,29 @@ class Network:
         self.trace.append(
             WireRecord(self.sim.now, src.name, dst_name, message.size_bytes, message.wire_label)
         )
+        active = obs.active()
+        if active is not None:
+            active.metrics.inc(
+                "net.bytes", message.size_bytes, src=src.name, dst=dst_name
+            )
+            active.metrics.inc("net.messages", 1, src=src.name, dst=dst_name)
+            if start > self.sim.now:
+                # time this frame waits behind earlier frames on the
+                # sender's egress — the DS/RS bottleneck signal
+                active.metrics.observe(
+                    "net.egress_wait_s", start - self.sim.now, host=src.name
+                )
         if self._drop_filter is not None and self._drop_filter(src.name, dst_name, message):
             return arrival  # silently lost on the wire
         delay = arrival - self.sim.now
 
         def deliver() -> None:
             dst.bytes_received += message.size_bytes
+            active = obs.active()
+            if active is not None:
+                active.metrics.observe(
+                    "net.inbox_depth", len(dst.inbox), host=dst.name
+                )
             dst.inbox.put((src.name, message))
 
         self.sim.schedule(delay, deliver)

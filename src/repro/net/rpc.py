@@ -58,8 +58,20 @@ class RpcEndpoint:
 
     # -- client side -----------------------------------------------------------
 
-    def call(self, dst: str, msg_type: str, payload: Any, size_bytes: int) -> Event:
-        """Send a request; the returned event fires with the response payload."""
+    def call(
+        self,
+        dst: str,
+        msg_type: str,
+        payload: Any,
+        size_bytes: int,
+        headers: dict[str, Any] | None = None,
+    ) -> Event:
+        """Send a request; the returned event fires with the response payload.
+
+        ``headers`` are merged into the RPC frame headers — the carrier
+        for simulation-side metadata such as the observability span
+        context (none of it is accounted in ``size_bytes``).
+        """
         correlation = next(self._correlation)
         reply = self.sim.event()
         self._pending[correlation] = reply
@@ -68,7 +80,12 @@ class RpcEndpoint:
             msg_type,
             payload,
             size_bytes,
-            headers={"rpc": "request", "corr": correlation, "reply_to": self.name},
+            headers={
+                **(headers or {}),
+                "rpc": "request",
+                "corr": correlation,
+                "reply_to": self.name,
+            },
         )
         return reply
 

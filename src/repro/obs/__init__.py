@@ -1,0 +1,52 @@
+"""repro.obs — tracing, metrics, and crypto-profiling observability.
+
+The measurement surface for every optimization claim in this repo: where
+does a publication's time go (HVE match at the subscriber? pairing
+evaluations? DS egress serialization?) and how many of each crypto
+operation ran, attributed to the component that ran them.
+
+Pieces:
+
+* :mod:`~repro.obs.tracing` — structured spans over simulated time with
+  context propagation across network messages (one causal tree per
+  publication: ``publish → ds.fan_out → subscriber.match →
+  subscriber.retrieve → deliver``);
+* :mod:`~repro.obs.metrics` — labelled counters and histograms
+  (pairings, exponentiations, HVE matches, bytes per hop, queue depths);
+* :mod:`~repro.obs.profile` — the hooks installed into hot paths, and
+  the global on/off switch that makes everything a no-op when disabled;
+* :mod:`~repro.obs.export` — JSONL spans, CSV metrics, console trees;
+* :mod:`~repro.obs.observability` — the :class:`Observability` bundle
+  experiments pass via ``P3SConfig(obs=...)``.
+"""
+
+from .export import (
+    format_op_summary,
+    format_span_tree,
+    spans_to_jsonl,
+    write_metrics_csv,
+    write_spans_jsonl,
+)
+from .metrics import Counter, Histogram, MetricsRegistry
+from .observability import Observability
+from .profile import active, instrument, record_op
+from .tracing import CONTEXT_HEADER, Span, SpanContext, Tracer
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "SpanContext",
+    "CONTEXT_HEADER",
+    "MetricsRegistry",
+    "Counter",
+    "Histogram",
+    "record_op",
+    "instrument",
+    "active",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "write_metrics_csv",
+    "format_span_tree",
+    "format_op_summary",
+]

@@ -1,0 +1,199 @@
+"""Process-wide registry of labelled counters and histograms.
+
+Everything the instrumentation hooks record lands here: crypto-op
+counters (pairings evaluated, G1/GT exponentiations, HVE match
+attempts/hits, CP-ABE decrypts), per-hop byte counters, egress queue
+waits, inbox depths.  The registry is deliberately simple — a dict of
+:class:`Counter` and :class:`Histogram` keyed by (name, sorted labels) —
+because a simulation run produces at most tens of thousands of samples.
+
+Naming conventions used by the built-in hooks:
+
+=======================  =========================  =======================
+metric                   kind / labels              incremented by
+=======================  =========================  =======================
+``op.<op>``              counter, ``component``     ``record_op`` / ``@instrument``
+``op.<op>.wall_s``       histogram, ``component``   ``@instrument`` (real compute)
+``net.bytes``            counter, ``src``, ``dst``  :meth:`Network.transmit`
+``net.messages``         counter, ``src``, ``dst``  :meth:`Network.transmit`
+``net.egress_wait_s``    histogram, ``host``        sender-side queueing delay
+``net.inbox_depth``      histogram, ``host``        receiver queue depth at deliver
+=======================  =========================  =======================
+
+Crypto op names: ``pairing``, ``multi_pairing``, ``final_exp``,
+``g1_exp``, ``gt_exp``, ``hve.encrypt``, ``hve.token_gen``,
+``hve.match`` / ``hve.match_hit``, ``abe.encrypt``, ``abe.decrypt``,
+``abe.keygen``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing labelled count."""
+
+    name: str
+    labels: _LabelKey
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """All observed values for one (name, labels) series.
+
+    Raw values are kept (simulation scale makes this cheap) so any
+    percentile can be computed exactly with the same nearest-rank rule as
+    :class:`repro.core.metrics.LatencyStats`.
+    """
+
+    name: str
+    labels: _LabelKey
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+
+class MetricsRegistry:
+    """All counters and histograms of one observability instance."""
+
+    def __init__(self):
+        self.counters: dict[tuple[str, _LabelKey], Counter] = {}
+        self.histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1, **labels: object) -> None:
+        key = (name, _label_key(labels))
+        counter = self.counters.get(key)
+        if counter is None:
+            counter = self.counters[key] = Counter(name, key[1])
+        counter.value += amount
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        key = (name, _label_key(labels))
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = self.histograms[key] = Histogram(name, key[1])
+        histogram.values.append(value)
+
+    # -- queries ---------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """One series' count (0 when never incremented)."""
+        counter = self.counters.get((name, _label_key(labels)))
+        return 0 if counter is None else counter.value
+
+    def counter_total(self, name: str) -> float:
+        """Sum over every label combination of ``name``."""
+        return sum(c.value for (n, _), c in self.counters.items() if n == name)
+
+    def counter_names(self) -> list[str]:
+        """Distinct counter names, sorted."""
+        return sorted({name for name, _ in self.counters})
+
+    def counters_by_label(self, name: str, label: str) -> dict[str, float]:
+        """``name`` totals grouped by one label's value (e.g. per component)."""
+        result: dict[str, float] = {}
+        for (n, label_key), counter in self.counters.items():
+            if n != name:
+                continue
+            value = dict(label_key).get(label, "")
+            result[value] = result.get(value, 0) + counter.value
+        return result
+
+    def histogram(self, name: str, **labels: object) -> Histogram | None:
+        return self.histograms.get((name, _label_key(labels)))
+
+    @property
+    def empty(self) -> bool:
+        return not self.counters and not self.histograms
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.histograms.clear()
+
+    # -- export ------------------------------------------------------------------
+
+    def rows(self) -> list[dict[str, object]]:
+        """Flat export rows, counters first, stable order."""
+        out: list[dict[str, object]] = []
+        for (name, label_key), counter in sorted(self.counters.items()):
+            out.append(
+                {
+                    "kind": "counter",
+                    "name": name,
+                    "labels": ";".join(f"{k}={v}" for k, v in label_key),
+                    "count": counter.value,
+                    "sum": counter.value,
+                    "mean": "",
+                    "p95": "",
+                    "max": "",
+                }
+            )
+        for (name, label_key), histogram in sorted(self.histograms.items()):
+            out.append(
+                {
+                    "kind": "histogram",
+                    "name": name,
+                    "labels": ";".join(f"{k}={v}" for k, v in label_key),
+                    "count": histogram.count,
+                    "sum": histogram.total,
+                    "mean": histogram.mean,
+                    "p95": histogram.percentile(0.95),
+                    "max": histogram.maximum,
+                }
+            )
+        return out
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        columns = ["kind", "name", "labels", "count", "sum", "mean", "p95", "max"]
+        buffer.write(",".join(columns) + "\n")
+        for row in self.rows():
+            buffer.write(",".join(_format_cell(row[c]) for c in columns) + "\n")
+        return buffer.getvalue()
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.9g}"
+    return str(value)

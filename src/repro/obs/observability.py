@@ -1,0 +1,118 @@
+"""The :class:`Observability` bundle: one tracer + one metrics registry.
+
+This is the object experiments hold.  Pass it to a deployment via
+``P3SConfig(obs=...)`` (or ``BaselineSystem(obs=...)``); the system binds
+the tracer's clock to its simulator and installs the instance as the
+process-wide hook sink (:mod:`repro.obs.profile`).  When no instance is
+installed every hook in the codebase is a no-op.
+
+Typical use::
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    system = P3SSystem(P3SConfig(obs=obs))
+    ...publish, run...
+    print(obs.format_tree())        # causal span tree per publication
+    print(obs.format_ops())         # per-component crypto-op counts
+    obs.write_spans("trace.jsonl")  # offline analysis
+    obs.write_metrics("metrics.csv")
+
+Only one instance is active at a time (the crypto layer counts into a
+process global); installing a second instance supersedes the first.
+``uninstall()`` — also invoked by ``with obs.installed():`` — restores
+the no-op state.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable
+
+from . import profile
+from .export import (
+    format_op_summary,
+    format_span_tree,
+    spans_to_jsonl,
+    write_metrics_csv,
+    write_spans_jsonl,
+)
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Tracing + metrics for one (or several comparable) simulation runs."""
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self.tracer = Tracer(clock)
+        self.metrics = MetricsRegistry()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point span timestamps at a simulator's clock (``lambda: sim.now``)."""
+        self.tracer.clock = clock
+
+    def install(self) -> "Observability":
+        """Become the process-wide hook sink; returns self for chaining."""
+        profile.activate(self)
+        return self
+
+    def uninstall(self) -> None:
+        """Stop receiving hook data (only if currently installed)."""
+        profile.deactivate(self)
+
+    @property
+    def active(self) -> bool:
+        return profile.active() is self
+
+    @contextlib.contextmanager
+    def installed(self):
+        """Scoped installation: ``with obs.installed(): ...``."""
+        self.install()
+        try:
+            yield self
+        finally:
+            self.uninstall()
+
+    def reset(self) -> None:
+        """Drop all recorded spans and metrics (keeps the clock binding)."""
+        self.tracer.clear()
+        self.metrics.clear()
+
+    # -- export conveniences ----------------------------------------------------
+
+    def spans_jsonl(self) -> str:
+        return spans_to_jsonl(self.tracer.spans)
+
+    def write_spans(self, path: str) -> None:
+        write_spans_jsonl(path, self.tracer.spans)
+
+    def metrics_csv(self) -> str:
+        return self.metrics.to_csv()
+
+    def write_metrics(self, path: str) -> None:
+        write_metrics_csv(path, self.metrics)
+
+    def format_tree(self, max_traces: int | None = None) -> str:
+        return format_span_tree(self.tracer, max_traces=max_traces)
+
+    def format_ops(self) -> str:
+        return format_op_summary(self.metrics)
+
+    def summary(self, max_traces: int | None = 5) -> str:
+        """Console report: span trees plus the crypto-op breakdown."""
+        return (
+            self.format_tree(max_traces=max_traces)
+            + "\n\noperation counts by component:\n"
+            + self.format_ops()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Observability(spans={len(self.tracer.spans)}, "
+            f"counters={len(self.metrics.counters)}, active={self.active})"
+        )

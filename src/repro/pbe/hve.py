@@ -48,6 +48,7 @@ from ..crypto.group import PairingGroup
 from ..crypto.hashing import kdf
 from ..crypto.symmetric import SecretBox
 from ..errors import DecryptionError, ParameterError
+from ..obs.profile import instrument, record_op
 
 __all__ = ["HVE", "HVEPublicKey", "HVEMasterKey", "HVEToken", "HVECiphertext", "WILDCARD"]
 
@@ -133,6 +134,7 @@ class HVE:
 
     # -- Encrypt -------------------------------------------------------------
 
+    @instrument("hve.encrypt")
     def encrypt(self, public: HVEPublicKey, x: list[int], payload: bytes) -> HVECiphertext:
         """Encrypt ``payload`` under attribute vector ``x ∈ {0,1}^n``."""
         self._check_attribute_vector(public.n, x)
@@ -160,6 +162,7 @@ class HVE:
 
     # -- GenToken ----------------------------------------------------------------
 
+    @instrument("hve.token_gen")
     def gen_token(self, master: HVEMasterKey, y: list[int | None]) -> HVEToken:
         """Token for interest vector ``y ∈ {0,1,*}^n`` (``None`` = wildcard).
 
@@ -195,6 +198,7 @@ class HVE:
 
     # -- Query ----------------------------------------------------------------------
 
+    @instrument("hve.match")
     def query(self, token: HVEToken, ciphertext: HVECiphertext) -> bytes | None:
         """Return the payload iff the token's predicate matches, else ``None``.
 
@@ -204,9 +208,11 @@ class HVE:
         """
         candidate_key = self._query_key(token, ciphertext)
         try:
-            return SecretBox(candidate_key).open(ciphertext.sealed)
+            payload = SecretBox(candidate_key).open(ciphertext.sealed)
         except DecryptionError:
             return None
+        record_op("hve.match_hit")
+        return payload
 
     def matches(self, token: HVEToken, ciphertext: HVECiphertext) -> bool:
         """Predicate-only form of :meth:`query`."""

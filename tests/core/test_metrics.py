@@ -40,6 +40,26 @@ class TestLatencyStats:
         stats = LatencyStats.from_values([float(i) for i in range(100)])
         assert stats.p95 == pytest.approx(94.0)
 
+    # The percentile rule is nearest-rank on (n-1): index = round(f * (n-1)).
+    # These pins freeze the rule so p99 cannot silently change definition.
+
+    def test_percentiles_single_value(self):
+        stats = LatencyStats.from_values([0.7])
+        assert stats.median == stats.p95 == stats.p99 == stats.maximum == 0.7
+
+    def test_percentiles_two_values(self):
+        stats = LatencyStats.from_values([2.0, 1.0])
+        # round(0.5 * 1) = 0 (banker's rounding), round(0.95) = round(0.99) = 1
+        assert stats.median == 1.0
+        assert stats.p95 == 2.0
+        assert stats.p99 == 2.0
+
+    def test_p99_of_many(self):
+        stats = LatencyStats.from_values([float(i) for i in range(100)])
+        # round(0.99 * 99) = round(98.01) = 98
+        assert stats.p99 == pytest.approx(98.0)
+        assert stats.p95 <= stats.p99 <= stats.maximum
+
 
 class TestCollector:
     def test_publication_metrics(self, finished_run):

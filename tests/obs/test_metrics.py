@@ -1,0 +1,81 @@
+"""MetricsRegistry: counters, histograms, grouping, CSV export."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        registry.inc("op.pairing", component="alice")
+        registry.inc("op.pairing", 4, component="alice")
+        registry.inc("op.pairing", component="bob")
+        assert registry.counter_value("op.pairing", component="alice") == 5
+        assert registry.counter_value("op.pairing", component="bob") == 1
+        assert registry.counter_value("op.pairing", component="carol") == 0
+        assert registry.counter_total("op.pairing") == 6
+
+    def test_counters_by_label(self):
+        registry = MetricsRegistry()
+        registry.inc("net.bytes", 100, src="pub", dst="ds")
+        registry.inc("net.bytes", 50, src="ds", dst="alice")
+        registry.inc("net.bytes", 25, src="ds", dst="bob")
+        assert registry.counters_by_label("net.bytes", "src") == {"pub": 100, "ds": 75}
+        assert registry.counters_by_label("net.bytes", "dst") == {
+            "ds": 100, "alice": 50, "bob": 25,
+        }
+
+    def test_counter_names(self):
+        registry = MetricsRegistry()
+        registry.inc("op.b", component="x")
+        registry.inc("op.a", component="x")
+        registry.inc("op.a", component="y")
+        assert registry.counter_names() == ["op.a", "op.b"]
+
+
+class TestHistograms:
+    def test_observe_and_stats(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("net.inbox_depth", value, host="ds")
+        histogram = registry.histogram("net.inbox_depth", host="ds")
+        assert histogram.count == 4
+        assert histogram.total == 10.0
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.maximum == 4.0
+
+    def test_percentile_nearest_rank(self):
+        registry = MetricsRegistry()
+        for value in range(100):
+            registry.observe("h", float(value))
+        histogram = registry.histogram("h")
+        # same rule as LatencyStats: index = round(fraction * (n-1))
+        assert histogram.percentile(0.95) == 94.0
+        assert histogram.percentile(0.99) == 98.0
+        assert histogram.percentile(0.0) == 0.0
+        assert histogram.percentile(1.0) == 99.0
+
+    def test_missing_histogram(self):
+        assert MetricsRegistry().histogram("nope") is None
+
+
+class TestLifecycleAndExport:
+    def test_empty_and_clear(self):
+        registry = MetricsRegistry()
+        assert registry.empty
+        registry.inc("c")
+        registry.observe("h", 1.0)
+        assert not registry.empty
+        registry.clear()
+        assert registry.empty
+
+    def test_csv_export(self):
+        registry = MetricsRegistry()
+        registry.inc("op.pairing", 3, component="alice")
+        registry.observe("op.pairing.wall_s", 0.25, component="alice")
+        csv_text = registry.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "kind,name,labels,count,sum,mean,p95,max"
+        assert any(line.startswith("counter,op.pairing,component=alice,3,") for line in lines)
+        assert any(line.startswith("histogram,op.pairing.wall_s,") for line in lines)

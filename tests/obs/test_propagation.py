@@ -1,0 +1,163 @@
+"""End-to-end observability: span propagation across the simulated system."""
+
+import pytest
+
+from repro.core import P3SConfig, P3SSystem
+from repro.core.metrics import MetricsCollector
+from repro.obs import Observability
+from repro.obs import profile
+from repro.pbe import AttributeSpec, Interest, MetadataSchema
+
+
+SCHEMA = MetadataSchema([AttributeSpec("topic", ("a", "b", "c", "d"))])
+
+
+def run_system(obs):
+    """One publisher, two matching + one non-matching subscriber, one publication."""
+    system = P3SSystem(P3SConfig(schema=SCHEMA, obs=obs))
+    for index, topic in enumerate(("a", "a", "b")):
+        subscriber = system.add_subscriber(f"s{index}", {"org"})
+        system.subscribe(subscriber, Interest({"topic": topic}))
+    system.run()
+    publisher = system.add_publisher("pub")
+    system.run()
+    record = publisher.publish({"topic": "a"}, b"payload", policy="org")
+    system.run()
+    return system, record
+
+
+@pytest.fixture()
+def traced_run():
+    obs = Observability()
+    try:
+        system, record = run_system(obs)
+        yield obs, system, record
+    finally:
+        obs.uninstall()
+
+
+class TestSpanPropagation:
+    def test_one_root_span_per_publication(self, traced_run):
+        obs, system, record = traced_run
+        publish_roots = [
+            span for span in obs.tracer.roots() if span.name == "publish"
+        ]
+        assert len(publish_roots) == 1
+        (root,) = publish_roots
+        assert root.component == "pub"
+        assert root.attributes["publication_id"] == record.publication_id
+
+    def test_child_span_per_hop(self, traced_run):
+        obs, system, record = traced_run
+        (root,) = [s for s in obs.tracer.roots() if s.name == "publish"]
+        tree = [span for span, _ in obs.tracer.walk(root)]
+        names = [span.name for span in tree]
+        # publisher-side stages
+        assert names.count("pbe.encrypt") == 1
+        assert names.count("abe.encrypt") == 1
+        # broker hops
+        assert names.count("ds.fan_out") == 1
+        assert names.count("ds.forward_rs") == 1
+        assert names.count("rs.store") == 1
+        # all three subscribers match-test the broadcast; two match + retrieve
+        assert names.count("subscriber.match") == 3
+        assert names.count("subscriber.retrieve") == 2
+        assert names.count("rs.retrieve") == 2
+        assert names.count("abe.decrypt") == 2
+        assert names.count("deliver") == 2
+        # everything hangs off the ONE publish trace
+        assert {span.trace_id for span in tree} == {root.trace_id}
+
+    def test_hop_parentage(self, traced_run):
+        obs, system, _ = traced_run
+        (fan_out,) = obs.tracer.find("ds.fan_out")
+        for match in obs.tracer.find("subscriber.match"):
+            assert match.parent_id == fan_out.span_id
+        for retrieve in obs.tracer.find("subscriber.retrieve"):
+            parent = next(
+                s for s in obs.tracer.spans if s.span_id == retrieve.parent_id
+            )
+            assert parent.name == "subscriber.match"
+            assert parent.component == retrieve.component
+
+    def test_match_outcomes_attributed(self, traced_run):
+        obs, system, _ = traced_run
+        outcomes = {
+            span.component: span.attributes["matched"]
+            for span in obs.tracer.find("subscriber.match")
+        }
+        assert outcomes == {"s0": True, "s1": True, "s2": False}
+
+    def test_crypto_ops_attributed_to_components(self, traced_run):
+        obs, system, _ = traced_run
+        by_component = obs.metrics.counters_by_label("op.hve.match", "component")
+        assert by_component == {"s0": 1, "s1": 1, "s2": 1}
+        assert obs.metrics.counter_total("op.hve.match_hit") == 2
+        assert obs.metrics.counter_value("op.abe.decrypt", component="s0") == 1
+        assert obs.metrics.counter_value("op.hve.encrypt", component="pub") == 1
+        assert obs.metrics.counter_total("op.pairing") > 0
+
+    def test_all_spans_finished(self, traced_run):
+        obs, _, _ = traced_run
+        assert obs.tracer.spans  # non-trivial run
+        assert all(span.finished for span in obs.tracer.spans)
+
+    def test_exports_nonempty(self, traced_run):
+        obs, _, _ = traced_run
+        jsonl = obs.spans_jsonl()
+        assert len(jsonl.strip().splitlines()) == len(obs.tracer.spans)
+        assert "net.bytes" in obs.metrics_csv()
+        tree = obs.format_tree()
+        assert "publish [pub]" in tree
+        assert "hve.match" in obs.format_ops()
+
+
+class TestCollectorIntegration:
+    def test_component_bytes_from_registry(self, traced_run):
+        obs, system, _ = traced_run
+        collector = MetricsCollector(system)
+        counters = collector.component_bytes()
+        # the registry path must agree with the per-host counters
+        for name, host in system.network.hosts.items():
+            assert counters[name] == (host.bytes_sent, host.bytes_received)
+
+    def test_crypto_op_counts(self, traced_run):
+        obs, system, _ = traced_run
+        counts = MetricsCollector(system).crypto_op_counts()
+        assert counts["op.hve.match"] == 3
+        assert counts["op.abe.decrypt"] == 2
+        assert all(name.startswith("op.") for name in counts)
+
+
+class TestDisabledMode:
+    def test_disabled_run_records_nothing(self):
+        sentinel = Observability()  # never installed
+        system, record = run_system(obs=None)
+        assert len(system.deliveries_for(record)) == 2
+        assert sentinel.metrics.empty
+        assert sentinel.tracer.spans == []
+        assert profile.active() is None
+
+    def test_collector_falls_back_to_host_counters(self):
+        system, _ = run_system(obs=None)
+        counters = MetricsCollector(system).component_bytes()
+        assert counters["ds"][0] > 0
+
+    def test_uninstall_stops_recording(self):
+        obs = Observability()
+        obs.install()
+        obs.uninstall()
+        profile.record_op("pairing")
+        assert obs.metrics.empty
+
+    def test_install_is_exclusive(self):
+        first, second = Observability(), Observability()
+        try:
+            first.install()
+            second.install()
+            assert not first.active and second.active
+            profile.record_op("pairing")
+            assert first.metrics.empty
+            assert second.metrics.counter_total("op.pairing") == 1
+        finally:
+            profile.deactivate()
