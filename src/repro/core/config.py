@@ -90,6 +90,16 @@ class P3SConfig:
     # (installed process-wide on system construction), or None: every
     # instrumentation hook stays a no-op
     obs: object | None = None
+    # -- delegated matching (DS-side pre-filtering; see repro.core.ds) --
+    # When True, subscribers register their PBE tokens with the DS, which
+    # matches publications against them (via a repro.par.MatchPool) and
+    # narrows the metadata fan-out to matching subscribers.  Trades
+    # interest privacy at the DS for bandwidth; delivery sets are
+    # unchanged (tests/par/test_equivalence.py proves it).
+    delegated_matching: bool = False
+    # MatchPool size for the DS: None defers to P3S_MATCH_WORKERS (then
+    # serial); values <= 1 force the serial in-process path.
+    match_workers: int | None = None
 
     def with_(self, **overrides) -> "P3SConfig":
         """A copy with the given fields replaced."""

@@ -16,6 +16,20 @@ P3S architecture to use hierarchical dissemination"): the analytic model
 in :func:`repro.perf.throughput.p3s_throughput` takes a ``relay_fanout``
 parameter that moves the metadata fan-out off the DS egress and onto a
 k-ary relay tree; ``benchmarks/bench_ext_hierarchical.py`` quantifies it.
+
+Second extension — **delegated matching** (opt-in via
+:attr:`P3SConfig.delegated_matching`): subscribers may hand their
+serialized PBE tokens to the DS (``KIND_TOKEN_REG`` frames), which then
+evaluates each publication against the registered tokens through a
+:class:`repro.par.MatchPool` and narrows the fan-out to the matching
+subscribers (subscribers with no registered tokens still get the full
+broadcast).  This deliberately trades interest privacy at the DS — the
+DS learns which subscribers match which publications, the exposure the
+baseline architecture exists to avoid — for fan-out bandwidth, and is
+the natural host for the parallel matching hot path.  Delivery *sets*
+are unchanged: matched subscribers re-run the same local match, so a
+delegated deployment delivers byte-identical payloads to the broadcast
+one (``tests/par/test_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -27,18 +41,47 @@ from ..mq.broker import Broker
 from ..mq.messages import JmsFrame
 from ..net.network import Host, Message
 from ..obs import profile as obs
-from .messages import KIND_METADATA, KIND_PAYLOAD, RPC_STORE, PayloadSubmission
+from ..par import MatchPool
+from .config import ComputeTimings
+from .messages import (
+    KIND_METADATA,
+    KIND_PAYLOAD,
+    KIND_TOKEN_REG,
+    KIND_TOKEN_UNREG,
+    RPC_STORE,
+    PayloadSubmission,
+)
 
 __all__ = ["DisseminationServer"]
 
 
 class DisseminationServer(Broker):
-    """The DS: a topic broker with P3S publication handling grafted on."""
+    """The DS: a topic broker with P3S publication handling grafted on.
 
-    def __init__(self, host: Host, rs_name: str, metadata_topic: str = "p3s.metadata"):
+    ``group``/``timings``/``match_workers`` enable delegated matching;
+    without a ``group`` the DS ignores token registrations and always
+    broadcasts (the baseline architecture).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        rs_name: str,
+        metadata_topic: str = "p3s.metadata",
+        group=None,
+        timings: ComputeTimings | None = None,
+        match_workers: int | None = None,
+    ):
         super().__init__(host)
         self.rs_name = rs_name
         self.metadata_topic = metadata_topic
+        self.group = group
+        self.timings = timings
+        self.match_workers = match_workers
+        # Delegated-matching registry: (subscriber name, serialized token).
+        # Volatile — lost on crash, like subscriptions.
+        self.registered_tokens: list[tuple[str, bytes]] = []
+        self._match_pool: MatchPool | None = None
         # HBC-observable state (§6.1: "the DS knows the per-publisher
         # publication rate and number of items published by each publisher",
         # and "the size of payloads and the size of encrypted PBE metadata").
@@ -50,24 +93,108 @@ class DisseminationServer(Broker):
         if kind == KIND_METADATA:
             self.publications_by_publisher[src] += 1
             self.observed_sizes.append((KIND_METADATA, frame.body_size))
-            # forward PBE-encrypted metadata to ALL registered subscribers
-            with obs.span(
-                "ds.fan_out",
-                component=self.name,
-                parent=obs.extract(frame.headers),
-                subscribers=self.registered_subscriber_count,
-            ) as span:
-                # re-parent the propagated context so each subscriber's
-                # match span hangs off this fan-out hop
-                obs.inject(frame.headers, span)
-                self.fan_out(self.metadata_topic, frame)
+            if self.registered_tokens and self.group is not None:
+                self.sim.process(self._delegated_fan_out(frame))
+            else:
+                # forward PBE-encrypted metadata to ALL registered subscribers
+                with obs.span(
+                    "ds.fan_out",
+                    component=self.name,
+                    parent=obs.extract(frame.headers),
+                    subscribers=self.registered_subscriber_count,
+                ) as span:
+                    # re-parent the propagated context so each subscriber's
+                    # match span hangs off this fan-out hop
+                    obs.inject(frame.headers, span)
+                    self.fan_out(self.metadata_topic, frame)
         elif kind == KIND_PAYLOAD:
             self.observed_sizes.append((KIND_PAYLOAD, frame.body_size))
             self._forward_to_rs(frame)
+        elif kind == KIND_TOKEN_REG:
+            self._register_token(src, frame.body)
+        elif kind == KIND_TOKEN_UNREG:
+            self._unregister_token(src, frame.body)
         else:
             # plain JMS traffic keeps working unchanged (§5: the top-level
             # JMS interface is retained)
             super().on_publish(src, frame)
+
+    # -- delegated matching ---------------------------------------------------
+
+    def _register_token(self, src: str, token_bytes: bytes) -> None:
+        entry = (src, bytes(token_bytes))
+        if entry not in self.registered_tokens:
+            self.registered_tokens.append(entry)
+            obs.record_op("ds.token_reg")
+
+    def _unregister_token(self, src: str, token_bytes: bytes) -> None:
+        entry = (src, bytes(token_bytes))
+        if entry in self.registered_tokens:
+            self.registered_tokens.remove(entry)
+            obs.record_op("ds.token_unreg")
+
+    @property
+    def match_pool(self) -> MatchPool:
+        if self._match_pool is None:
+            self._match_pool = MatchPool(self.group, workers=self.match_workers)
+        return self._match_pool
+
+    def _delegated_fan_out(self, frame: JmsFrame):
+        """Match the publication against registered tokens, then fan out
+        only to matching (or token-less) subscribers, in subscription
+        order.  Simulated compute time is the pool makespan: the token
+        batch split across ``effective_workers`` lanes at ``pbe_match``
+        per evaluation."""
+        tokens = list(self.registered_tokens)
+        envelope = frame.body
+        span = obs.start_span(
+            "ds.delegated_fan_out",
+            component=self.name,
+            parent=obs.extract(frame.headers),
+            tokens=len(tokens),
+        )
+        pool = self.match_pool
+        effective_workers = max(1, pool.workers)
+        lanes = -(-len(tokens) // effective_workers)  # ceil
+        if self.timings is not None:
+            yield self.sim.timeout(lanes * self.timings.pbe_match)
+        with obs.attach(span):
+            matched = pool.match_indices(
+                envelope.hve_bytes, [token for _, token in tokens]
+            )
+        matched_names = {tokens[index][0] for index in matched}
+        token_holders = {name for name, _ in tokens}
+        delivery = JmsFrame(
+            topic=self.metadata_topic,
+            body=frame.body,
+            body_size=frame.body_size,
+            message_id=next(self._message_ids),
+            headers=dict(frame.headers),
+        )
+        obs.inject(delivery.headers, span)
+        skipped = 0
+        for client in self.subscriptions[self.metadata_topic]:
+            # token holders are pre-filtered; everyone else still gets the
+            # baseline broadcast
+            if client in token_holders and client not in matched_names:
+                skipped += 1
+                continue
+            self.deliver_to(client, delivery)
+        obs.record_op("ds.delegated_match")
+        if skipped:
+            obs.record_op("ds.fanout_skipped", skipped)
+        obs.end_span(span, matched=len(matched_names), skipped=skipped)
+
+    def close_match_pool(self) -> None:
+        if self._match_pool is not None:
+            self._match_pool.close()
+            self._match_pool = None
+
+    def crash(self) -> None:
+        """Registered tokens are volatile state — lost with subscriptions."""
+        super().crash()
+        self.registered_tokens.clear()
+        self.close_match_pool()
 
     def _forward_to_rs(self, frame: JmsFrame) -> None:
         submission: PayloadSubmission = frame.body

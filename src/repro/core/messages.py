@@ -17,6 +17,11 @@ from ..errors import SerializationError
 # P3S frame kinds carried in JMS headers / RPC message types
 KIND_METADATA = "p3s.metadata"
 KIND_PAYLOAD = "p3s.payload"
+# Delegated-matching extension (opt-in; trades interest privacy at the DS
+# for fan-out bandwidth — see repro.core.ds): subscribers hand serialized
+# PBE tokens to the DS so it can pre-filter the metadata fan-out.
+KIND_TOKEN_REG = "p3s.token-reg"
+KIND_TOKEN_UNREG = "p3s.token-unreg"
 RPC_TOKEN_REQUEST = "p3s.token-request"
 RPC_RETRIEVE = "p3s.retrieve"
 RPC_STORE = "p3s.store"
@@ -25,6 +30,8 @@ RPC_ANON_FORWARD = "p3s.anon-forward"
 __all__ = [
     "KIND_METADATA",
     "KIND_PAYLOAD",
+    "KIND_TOKEN_REG",
+    "KIND_TOKEN_UNREG",
     "RPC_TOKEN_REQUEST",
     "RPC_RETRIEVE",
     "RPC_STORE",

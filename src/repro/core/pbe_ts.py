@@ -20,6 +20,7 @@ import json
 from collections import defaultdict
 from dataclasses import dataclass
 
+from ..crypto import precompute
 from ..crypto.pke import PKEKeyPair
 from ..crypto.signing import Certificate, VerifyKey
 from ..crypto.symmetric import SecretBox
@@ -135,6 +136,9 @@ class PBETokenServer:
         self._master = master_key
         self._ara_verify_key = ara_verify_key
         self.pke = PKEKeyPair(hve.group)
+        # Token generation is nothing but fixed-base scalar multiplications
+        # of g; warm its comb table so even the first request is fast.
+        precompute.warm_generator(hve.group)
         self.rpc = RpcEndpoint(SecureChannelLayer(host))
         self.rpc.serve(RPC_TOKEN_REQUEST, self._handle_token_request)
         # What this (honest-but-curious) server inevitably learns:

@@ -32,10 +32,16 @@ from ..mq.client import JmsConnection
 from ..obs import profile as obs
 from ..pbe.hve import HVE, HVEToken
 from ..pbe.schema import Interest
-from ..pbe.serialize import deserialize_hve_ciphertext, deserialize_hve_token
+from ..pbe.serialize import (
+    deserialize_hve_ciphertext,
+    deserialize_hve_token,
+    serialize_hve_token,
+)
 from .ara import SubscriberCredentials
 from .config import ComputeTimings
 from .messages import (
+    KIND_TOKEN_REG,
+    KIND_TOKEN_UNREG,
     RPC_ANON_FORWARD,
     RPC_RETRIEVE,
     RPC_TOKEN_REQUEST,
@@ -86,6 +92,7 @@ class Subscriber:
         local_token_source=None,
         retrieval_retries: int = 3,
         retry_delay_s: float = 0.25,
+        delegate_tokens: bool = False,
     ):
         self.credentials = credentials
         self.connection = connection
@@ -99,10 +106,17 @@ class Subscriber:
         self.local_token_source = local_token_source
         self.retrieval_retries = retrieval_retries
         self.retry_delay_s = retry_delay_s
+        # Delegated matching (opt-in, privacy trade-off — see
+        # repro.core.ds): hand each minted token to the DS so it can
+        # pre-filter the metadata fan-out.  Local matching still runs on
+        # everything delivered, so behaviour is unchanged.
+        self.delegate_tokens = delegate_tokens
         self.stats = SubscriberStats()
         self.tokens: list[tuple[Interest, HVEToken]] = []
-        consumer = connection.create_session().create_consumer(metadata_topic)
+        session = connection.create_session()
+        consumer = session.create_consumer(metadata_topic)
         consumer.set_message_listener(self._on_metadata)
+        self._producer = session.create_producer(metadata_topic)
 
     @property
     def name(self) -> str:
@@ -131,6 +145,7 @@ class Subscriber:
             with obs.attach(root):
                 token = self.local_token_source.gen_token(interest)
             self.tokens.append((interest, token))
+            self._register_with_ds(token, KIND_TOKEN_REG)
             obs.end_span(root, local=True)
             return token
         session_key = SecretBox.generate_key()
@@ -151,20 +166,29 @@ class Subscriber:
             raise TokenRequestError(f"{self.name}: token request failed: {exc}") from exc
         token = deserialize_hve_token(self.group, token_bytes)
         self.tokens.append((interest, token))
+        self._register_with_ds(token, KIND_TOKEN_REG)
         obs.end_span(root, status="ok")
         return token
+
+    def _register_with_ds(self, token: HVEToken, kind: str) -> None:
+        if not self.delegate_tokens:
+            return
+        data = serialize_hve_token(self.group, token)
+        self._producer.send(data, len(data), headers={"p3s-kind": kind})
 
     def unsubscribe(self, interest: Interest) -> bool:
         """Drop the local token for ``interest``.
 
-        Matching is local, so unsubscribing is purely client-side: the
+        With local matching, unsubscribing is purely client-side: the
         token is discarded and future broadcasts stop matching.  (No party
         needs to be told — another consequence of interest privacy.)
+        Under delegated matching the DS registration is withdrawn too.
         Returns whether a token was found and removed.
         """
-        for index, (held, _) in enumerate(self.tokens):
+        for index, (held, token) in enumerate(self.tokens):
             if held.constraints == interest.constraints:
                 del self.tokens[index]
+                self._register_with_ds(token, KIND_TOKEN_UNREG)
                 return True
         return False
 

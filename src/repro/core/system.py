@@ -67,7 +67,14 @@ class P3SSystem:
         )
         ds_host = self.network.add_host("ds")
         ds_host.set_link_bandwidth("rs", self.config.lan_bandwidth_bps)
-        self.ds = DisseminationServer(ds_host, "rs", self.config.metadata_topic)
+        self.ds = DisseminationServer(
+            ds_host,
+            "rs",
+            self.config.metadata_topic,
+            group=self.group,
+            timings=self.config.timings,
+            match_workers=self.config.match_workers,
+        )
         hve = HVE(self.group)
         master_key, verify_key = self.ara.provision_pbe_ts()
         self.pbe_ts = PBETokenServer(
@@ -116,6 +123,7 @@ class P3SSystem:
         attributes: set[str],
         on_payload=None,
         embedded_token_source: bool = False,
+        delegate_tokens: bool | None = None,
     ) -> Subscriber:
         """Register and connect a subscriber.
 
@@ -123,7 +131,13 @@ class P3SSystem:
         configuration: the ARA provisions PBE master material into the
         subscriber and tokens are minted locally, so the plaintext
         predicate never leaves the subscriber.
+
+        ``delegate_tokens`` (default: the config's ``delegated_matching``)
+        registers this subscriber's tokens with the DS for pre-filtered
+        fan-out — see :mod:`repro.core.ds` for the privacy trade-off.
         """
+        if delegate_tokens is None:
+            delegate_tokens = self.config.delegated_matching
         credentials = self.ara.register_subscriber(name, attributes)
         connection = JmsConnection(self.network.add_host(name), "ds")
         connection.start()
@@ -144,6 +158,7 @@ class P3SSystem:
             metadata_topic=self.config.metadata_topic,
             on_payload=on_payload,
             local_token_source=token_source,
+            delegate_tokens=delegate_tokens,
         )
         self.subscribers[name] = subscriber
         return subscriber

@@ -10,13 +10,162 @@ the bignum multiplies, and affine formulas keep the Miller loop simple.
 from __future__ import annotations
 
 import hashlib
+import os
+from collections import OrderedDict
 
 from ..errors import NotOnCurveError, SerializationError
 from ..obs.profile import record_op
 from .field import fq_is_square, fq_sqrt
 from .params import TypeAParams
 
-__all__ = ["Point", "hash_to_point"]
+__all__ = [
+    "Point",
+    "hash_to_point",
+    "FixedBaseTable",
+    "fixed_base_table",
+    "set_fixed_base_enabled",
+    "clear_fixed_base_cache",
+    "fixed_base_cache_info",
+]
+
+# ---------------------------------------------------------------------------
+# Fixed-base precomputation (comb method).
+#
+# The hot bases of this codebase — the group generator ``g`` and the HVE /
+# CP-ABE public-key points — are multiplied by fresh scalars on every
+# setup, encrypt and token-gen call.  A comb table for base ``B`` stores
+# ``d · 16^j · B`` for every window digit ``d``, reducing a ``b``-bit
+# scalar multiplication from ~``1.5·b`` group operations to ``b/4``
+# additions (no doublings at all).
+#
+# Tables are promoted automatically: a base pays for its table only after
+# ``_FB_PROMOTE_AFTER`` large scalar multiplications, so one-shot points
+# (hash-to-point candidates, ephemeral keys) never trigger a build.  Both
+# the table cache and the use-count map are LRU-bounded.  Results are
+# bit-identical to the naive ladder — the group law is deterministic and
+# both paths compute the same multiple.
+# ---------------------------------------------------------------------------
+
+_FB_WINDOW = 4
+_FB_PROMOTE_AFTER = 2  # big muls a base must perform before a table is built
+_FB_MAX_TABLES = 128
+_FB_MAX_COUNTS = 4096
+
+_fb_enabled = os.environ.get("P3S_PRECOMPUTE", "1") != "0"
+_fb_tables: "OrderedDict[tuple[int, int, int], FixedBaseTable]" = OrderedDict()
+_fb_counts: "OrderedDict[tuple[int, int, int], int]" = OrderedDict()
+_fb_builds = 0
+_fb_hits = 0
+
+
+def set_fixed_base_enabled(enabled: bool) -> None:
+    """Toggle the fixed-base fast path (used by A/B benchmarks and tests)."""
+    global _fb_enabled
+    _fb_enabled = enabled
+
+
+def clear_fixed_base_cache() -> None:
+    """Drop all tables and promotion counters (test isolation)."""
+    global _fb_builds, _fb_hits
+    _fb_tables.clear()
+    _fb_counts.clear()
+    _fb_builds = 0
+    _fb_hits = 0
+
+
+def fixed_base_cache_info() -> dict[str, int]:
+    """Cache statistics: tables built/live, hits since the last clear."""
+    return {
+        "tables": len(_fb_tables),
+        "builds": _fb_builds,
+        "hits": _fb_hits,
+        "tracked_bases": len(_fb_counts),
+    }
+
+
+class FixedBaseTable:
+    """Comb precomputation for one base point.
+
+    ``rows[j][d-1] = d · 2^(window·j) · B`` for digits ``d ∈ [1, 2^w)``;
+    :meth:`mul` then needs only one table lookup and addition per window
+    of the scalar.  Supports scalars up to ``max_bits`` bits (larger ones
+    fall back to the generic ladder in :meth:`Point.__mul__`).
+    """
+
+    __slots__ = ("base", "window", "max_bits", "rows")
+
+    def __init__(self, base: "Point", max_bits: int, window: int = _FB_WINDOW):
+        if base.is_infinity:
+            raise ValueError("cannot build a fixed-base table for the point at infinity")
+        self.base = base
+        self.window = window
+        self.max_bits = max_bits
+        num_rows = -(-max_bits // window)  # ceil
+        rows: list[list[Point]] = []
+        current = base
+        for _ in range(num_rows):
+            row = [current]
+            for _ in range(2, 1 << window):
+                row.append(row[-1] + current)
+            rows.append(row)
+            current = row[-1] + current  # 2^window · current
+        self.rows = rows
+
+    def mul(self, k: int) -> "Point":
+        """``k · B`` by table lookups; ``k`` must be in ``[0, 2^max_bits)``."""
+        result = Point.infinity(self.base.params)
+        mask = (1 << self.window) - 1
+        rows = self.rows
+        j = 0
+        while k:
+            digit = k & mask
+            if digit:
+                result = result + rows[j][digit - 1]
+            k >>= self.window
+            j += 1
+        return result
+
+
+def fixed_base_table(point: "Point", max_bits: int | None = None) -> FixedBaseTable:
+    """Get-or-build the comb table for ``point`` (explicit warm-up API).
+
+    Services with known-hot bases (the PBE-TS, publishers) call this once
+    so even their first request takes the fast path.
+    """
+    global _fb_builds
+    key = (point.x, point.y, point.params.q)
+    table = _fb_tables.get(key)
+    if table is None:
+        if max_bits is None:
+            max_bits = point.params.r.bit_length() + _FB_WINDOW
+        table = FixedBaseTable(point, max_bits)
+        _fb_tables[key] = table
+        _fb_counts.pop(key, None)
+        _fb_builds += 1
+        record_op("g1_exp.fb_build")
+        while len(_fb_tables) > _FB_MAX_TABLES:
+            _fb_tables.popitem(last=False)
+    else:
+        _fb_tables.move_to_end(key)
+    return table
+
+
+def _fb_lookup(point: "Point", bits: int) -> FixedBaseTable | None:
+    """Fast-path check inside ``Point.__mul__``: table hit, or count a use."""
+    key = (point.x, point.y, point.params.q)
+    table = _fb_tables.get(key)
+    if table is not None:
+        _fb_tables.move_to_end(key)
+        return table
+    if bits > 32:
+        count = _fb_counts.get(key, 0) + 1
+        if count > _FB_PROMOTE_AFTER:
+            return fixed_base_table(point)
+        _fb_counts[key] = count
+        _fb_counts.move_to_end(key)
+        while len(_fb_counts) > _FB_MAX_COUNTS:
+            _fb_counts.popitem(last=False)
+    return None
 
 
 class Point:
@@ -108,7 +257,15 @@ class Point:
         if k == 0 or self.is_infinity:
             return Point.infinity(self.params)
         record_op("g1_exp")
-        if k.bit_length() > 32:
+        bits = k.bit_length()
+        if _fb_enabled:
+            table = _fb_lookup(self, bits)
+            if table is not None and bits <= table.max_bits:
+                global _fb_hits
+                _fb_hits += 1
+                record_op("g1_exp.fixed_base")
+                return table.mul(k)
+        if bits > 32:
             return self.scalar_mul_windowed(k)
         result = Point.infinity(self.params)
         addend = self

@@ -17,10 +17,17 @@ from __future__ import annotations
 import secrets
 
 from ..errors import ParameterError
-from .curve import Point, hash_to_point
+from .curve import Point, fixed_base_table, hash_to_point
 from .field import Fq2
 from .hashing import hash_bytes, hash_to_int
-from .pairing import multi_pairing, tate_pairing
+from .pairing import (
+    MillerPrecomputed,
+    multi_pairing,
+    multi_pairing_precomputed,
+    precompute_miller,
+    tate_pairing,
+    tate_pairing_precomputed,
+)
 from .params import PARAM_SETS, TypeAParams
 
 __all__ = ["PairingGroup"]
@@ -32,9 +39,19 @@ class PairingGroup:
     Args:
         params: a :class:`TypeAParams` instance or the name of a
             precomputed set (``"TOY"``, ``"TEST"``, ``"PAPER"``).
+        rng: an optional :class:`random.Random`-like source for scalar
+            sampling.  ``None`` (the default, and the only safe choice
+            outside tests) uses :mod:`secrets`; tests pass a seeded
+            instance to freeze key material for the golden known-answer
+            vectors in ``tests/crypto/vectors/``.
+
+    Construction warms the process-wide fixed-base comb table for the
+    generator (shared across every group instance on the same parameter
+    set), so ``g · k`` — the most frequent group operation — is always on
+    the fast path.
     """
 
-    def __init__(self, params: TypeAParams | str = "TOY"):
+    def __init__(self, params: TypeAParams | str = "TOY", rng=None):
         if isinstance(params, str):
             try:
                 params = PARAM_SETS[params]
@@ -44,7 +61,9 @@ class PairingGroup:
                 ) from None
         self.params = params
         self.generator = Point.generator(params)
+        self._rng = rng
         self._gt_generator: Fq2 | None = None
+        fixed_base_table(self.generator)
 
     # -- basic accessors -----------------------------------------------------
 
@@ -69,7 +88,10 @@ class PairingGroup:
         """Uniform scalar in ``[0, r)`` (``[1, r)`` when ``nonzero``)."""
         low = 1 if nonzero else 0
         while True:
-            value = secrets.randbelow(self.params.r)
+            if self._rng is not None:
+                value = self._rng.randrange(self.params.r)
+            else:
+                value = secrets.randbelow(self.params.r)
             if value >= low:
                 return value
 
@@ -96,6 +118,30 @@ class PairingGroup:
 
     def multi_pair(self, pairs: list[tuple[Point, Point]]) -> Fq2:
         return multi_pairing(pairs, self.params)
+
+    def precompute_pairing(self, point: Point) -> MillerPrecomputed | None:
+        """Precompute ``point``'s Miller lines for fixed-argument pairings.
+
+        Returns ``None`` for the point at infinity (its pairings are the
+        identity — :meth:`multi_pair_precomputed` skips such entries, the
+        same rule :func:`~repro.crypto.pairing.multi_pairing` applies).
+        """
+        if point.is_infinity:
+            return None
+        return precompute_miller(point)
+
+    def pair_precomputed(self, pre: MillerPrecomputed | None, q_point: Point) -> Fq2:
+        if pre is None or q_point.is_infinity:
+            return Fq2.one(self.params.q)
+        return tate_pairing_precomputed(pre, q_point)
+
+    def multi_pair_precomputed(
+        self, entries: list[tuple[MillerPrecomputed | None, Point]]
+    ) -> Fq2:
+        """``Π ê(P_j, Q_j)`` with every ``P_j`` precomputed — bit-identical
+        to :meth:`multi_pair` on the argument-swapped pairs (the pairing
+        is symmetric on G1)."""
+        return multi_pairing_precomputed(entries, self.params)
 
     # -- serialization ------------------------------------------------------------------
 

@@ -22,8 +22,20 @@ metric                   kind / labels              incremented by
 
 Crypto op names: ``pairing``, ``multi_pairing``, ``final_exp``,
 ``g1_exp``, ``gt_exp``, ``hve.encrypt``, ``hve.token_gen``,
-``hve.match`` / ``hve.match_hit``, ``abe.encrypt``, ``abe.decrypt``,
-``abe.keygen``.
+``hve.match`` / ``hve.match_hit`` / ``hve.match_memo_hit``,
+``abe.encrypt``, ``abe.decrypt``, ``abe.keygen``.
+
+Precomputation and parallel-matching ops (PR 2):
+
+* ``g1_exp.fixed_base`` — scalar-muls served from a comb table,
+  ``g1_exp.fb_build`` — comb tables built;
+* ``pairing.precompute`` — Miller-loop line precomputations,
+  ``multi_pairing.precomputed`` — multi-pairings on the precomputed path;
+* ``par.match`` / ``par.match_batch`` / ``par.chunk`` — MatchPool
+  evaluations, batches, and dispatched chunks, with ``par.match_wall_s``
+  and ``par.match_busy_s`` histograms;
+* ``ds.token_reg`` / ``ds.token_unreg`` / ``ds.delegated_match`` /
+  ``ds.fanout_skipped`` — delegated-matching traffic at the DS.
 """
 
 from __future__ import annotations

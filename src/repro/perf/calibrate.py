@@ -44,6 +44,10 @@ class CalibrationResult:
     encrypted_metadata_bytes: int
     cpabe_overhead_bytes: int
     token_bytes: int
+    # First query of a token against a ciphertext: includes the token's
+    # Miller-loop precomputation (amortized away on every later query —
+    # pbe_match_s is that warm steady-state cost).
+    pbe_match_cold_s: float = 0.0
 
     def as_model_params(self, base: ModelParams | None = None) -> ModelParams:
         """Table 1 with our measured values substituted."""
@@ -112,7 +116,19 @@ def calibrate(
         lambda: hve.gen_token(hve_master, interest_vector), repetitions
     )
     token = hve.gen_token(hve_master, interest_vector)
-    pbe_match_s = _time(lambda: hve.query(token, ciphertext), repetitions)
+
+    def _match_warm():
+        # drop the result memo so repetitions measure a real evaluation
+        # (token precomputation stays warm — the steady-state cost)
+        hve.clear_match_memo()
+        hve.query(token, ciphertext)
+
+    def _match_cold():
+        HVE(group).query(token, ciphertext)  # fresh caches every time
+
+    _match_warm()  # pay the one-time token precomputation before timing
+    pbe_match_s = _time(_match_warm, repetitions)
+    pbe_match_cold_s = _time(_match_cold, repetitions)
     encrypted_metadata_bytes = len(serialize_hve_ciphertext(group, ciphertext))
 
     # CP-ABE (V-attribute AND policy — the Table 1 shape)
@@ -147,4 +163,5 @@ def calibrate(
         encrypted_metadata_bytes=encrypted_metadata_bytes,
         cpabe_overhead_bytes=cpabe_overhead_bytes,
         token_bytes=hve_token_size(group, vector_bits // 2),
+        pbe_match_cold_s=pbe_match_cold_s,
     )

@@ -1,0 +1,125 @@
+"""Deterministic derivation shared by the golden known-answer vectors.
+
+The vectors in ``tests/crypto/vectors/golden_toy.json`` freeze the TOY
+outputs of the Tate pairing, IP08 HVE encrypt/token/match, and BSW07
+setup/keygen under fixed seeds.  Determinism needs two things:
+
+* every Zr scalar drawn through :meth:`PairingGroup.random_zr` comes from
+  a seeded ``random.Random`` (the group's ``rng`` parameter), and
+* the SecretBox nonces inside HVE ciphertexts come from a counter-based
+  stream instead of ``secrets.token_bytes`` (the :func:`frozen_nonces`
+  context manager patches it for the duration).
+
+:func:`derive_vectors` is the single source of truth: the regen script
+(``tests/crypto/vectors/make_vectors.py``) serializes its output, and
+``test_golden_vectors.py`` re-runs it and compares against the committed
+JSON — so any change to scalar-draw order, point arithmetic, pairing
+evaluation, serialization layout, or sealing breaks the test loudly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import random
+
+from repro.abe.bsw07 import CPABE
+from repro.abe.serialize import (
+    serialize_master_key,
+    serialize_public_key,
+    serialize_secret_key,
+)
+from repro.crypto import symmetric
+from repro.crypto.group import PairingGroup
+from repro.crypto.pairing import tate_pairing
+from repro.pbe.hve import HVE
+from repro.pbe.serialize import (
+    serialize_hve_ciphertext,
+    serialize_hve_public_key,
+    serialize_hve_token,
+)
+
+PARAM_SET = "TOY"
+SEED = 20120806  # paper year + vector freeze date
+
+HVE_N = 8
+HVE_X = [1, 0, 1, 1, 0, 0, 1, 0]
+HVE_PAYLOAD = b"p3s-golden-guid!"
+HVE_Y_MATCH = [1, 0, None, None, None, None, 1, None]
+HVE_Y_MISS = [0, 0, None, None, None, None, 1, None]
+
+BSW07_ATTRIBUTES = {"org:acme", "role:analyst", "clearance:2"}
+
+
+@contextlib.contextmanager
+def frozen_nonces(label: bytes = b"p3s-golden-nonce"):
+    """Replace SecretBox's nonce source with a deterministic counter stream."""
+    real = symmetric.secrets.token_bytes
+    counter = 0
+
+    def fake(n: int) -> bytes:
+        nonlocal counter
+        counter += 1
+        return hashlib.sha256(label + counter.to_bytes(8, "big")).digest()[:n]
+
+    symmetric.secrets.token_bytes = fake
+    try:
+        yield
+    finally:
+        symmetric.secrets.token_bytes = real
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def derive_vectors() -> dict:
+    """Recompute every golden vector from the fixed seeds."""
+    data: dict = {"param_set": PARAM_SET, "seed": SEED}
+
+    # -- Tate pairing on deterministic multiples of g ------------------------
+    group = PairingGroup(PARAM_SET)
+    scalar_rng = random.Random(SEED ^ 0x7A7E)
+    tate_cases = []
+    for _ in range(4):
+        a = scalar_rng.randrange(1, group.order)
+        b = scalar_rng.randrange(1, group.order)
+        value = tate_pairing(group.generator * a, group.generator * b)
+        tate_cases.append(
+            {"a": str(a), "b": str(b), "gt": group.serialize_gt(value).hex()}
+        )
+    data["tate"] = tate_cases
+
+    # -- HVE: setup → encrypt → tokens → query -------------------------------
+    hve_group = PairingGroup(PARAM_SET, rng=random.Random(SEED ^ 0x48E5))
+    with frozen_nonces():
+        hve = HVE(hve_group)
+        public, master = hve.setup(HVE_N)
+        ciphertext = hve.encrypt(public, HVE_X, HVE_PAYLOAD)
+        token_match = hve.gen_token(master, HVE_Y_MATCH)
+        token_miss = hve.gen_token(master, HVE_Y_MISS)
+    matched = hve.query(token_match, ciphertext)
+    missed = hve.query(token_miss, ciphertext)
+    data["hve"] = {
+        "n": HVE_N,
+        "x": HVE_X,
+        "public_key_sha256": _sha256(serialize_hve_public_key(hve_group, public)),
+        "ciphertext_hex": serialize_hve_ciphertext(hve_group, ciphertext).hex(),
+        "token_match_hex": serialize_hve_token(hve_group, token_match).hex(),
+        "token_miss_sha256": _sha256(serialize_hve_token(hve_group, token_miss)),
+        "query_match_payload_hex": matched.hex() if matched is not None else None,
+        "query_miss_is_none": missed is None,
+    }
+
+    # -- BSW07: setup → keygen -----------------------------------------------
+    abe_group = PairingGroup(PARAM_SET, rng=random.Random(SEED ^ 0xB59))
+    cpabe = CPABE(abe_group)
+    abe_public, abe_master = cpabe.setup()
+    key = cpabe.keygen(abe_master, BSW07_ATTRIBUTES)
+    data["bsw07"] = {
+        "attributes": sorted(BSW07_ATTRIBUTES),
+        "public_key_sha256": _sha256(serialize_public_key(abe_group, abe_public)),
+        "master_key_sha256": _sha256(serialize_master_key(abe_group, abe_master)),
+        "secret_key_sha256": _sha256(serialize_secret_key(abe_group, key)),
+    }
+    return data

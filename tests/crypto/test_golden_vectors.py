@@ -1,0 +1,64 @@
+"""Golden known-answer vectors for the crypto layer (TOY parameters).
+
+``vectors/golden_toy.json`` freezes the byte-exact outputs of the Tate
+pairing, HVE encrypt/token/match, and BSW07 setup/keygen under fixed
+seeds.  These tests re-derive everything from the same seeds and compare
+— so an optimisation (fixed-base tables, Miller precomputation, ...)
+that changes any output bit fails here, not in production.
+
+Regenerate with ``tests/crypto/vectors/make_vectors.py`` only for an
+*intentional* output change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from .golden_util import PARAM_SET, SEED, derive_vectors
+
+VECTORS_PATH = pathlib.Path(__file__).parent / "vectors" / "golden_toy.json"
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(VECTORS_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def derived() -> dict:
+    return derive_vectors()
+
+
+def test_vector_file_matches_seeds(golden):
+    assert golden["param_set"] == PARAM_SET
+    assert golden["seed"] == SEED
+
+
+def test_tate_pairing_vectors(golden, derived):
+    assert derived["tate"] == golden["tate"]
+
+
+def test_hve_ciphertext_bytes(golden, derived):
+    assert derived["hve"]["ciphertext_hex"] == golden["hve"]["ciphertext_hex"]
+
+
+def test_hve_public_key_and_tokens(golden, derived):
+    assert derived["hve"]["public_key_sha256"] == golden["hve"]["public_key_sha256"]
+    assert derived["hve"]["token_match_hex"] == golden["hve"]["token_match_hex"]
+    assert derived["hve"]["token_miss_sha256"] == golden["hve"]["token_miss_sha256"]
+
+
+def test_hve_query_outcomes(golden, derived):
+    assert (
+        derived["hve"]["query_match_payload_hex"]
+        == golden["hve"]["query_match_payload_hex"]
+    )
+    assert golden["hve"]["query_miss_is_none"] is True
+    assert derived["hve"]["query_miss_is_none"] is True
+
+
+def test_bsw07_keygen_vectors(golden, derived):
+    assert derived["bsw07"] == golden["bsw07"]

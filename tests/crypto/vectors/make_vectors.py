@@ -1,0 +1,31 @@
+"""Regenerate the golden known-answer vectors.
+
+Run from the repo root after an *intentional* crypto-layer change::
+
+    PYTHONPATH=src:tests python tests/crypto/vectors/make_vectors.py
+
+and commit the resulting ``golden_toy.json`` together with an explanation
+of why the outputs were expected to move.  Any unintentional diff here is
+a correctness regression, not a formatting problem.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[3] / "src"))
+
+from crypto.golden_util import derive_vectors  # noqa: E402
+
+
+def main() -> None:
+    target = pathlib.Path(__file__).with_name("golden_toy.json")
+    target.write_text(json.dumps(derive_vectors(), indent=2) + "\n")
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()
