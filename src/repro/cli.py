@@ -9,6 +9,10 @@
     python -m repro calibrate -p PAPER  # measure crypto constants
     python -m repro demo                # one publication end to end
     python -m repro attacks             # the two §6.1 token attacks, live
+    python -m repro live demo           # full scenario over real TCP sockets
+    python -m repro live init --state p3s.state   # provision a multi-process deployment
+    python -m repro live serve-ds --state p3s.state   # one service per process
+    python -m repro live run --state p3s.state        # drive clients against them
 """
 
 from __future__ import annotations
@@ -170,6 +174,65 @@ def _cmd_attacks(args) -> None:
           f"→ recovered {token_accumulation_attack(hve, accumulated, ciphertext, schema)}")
 
 
+def _cmd_live_demo(args) -> None:
+    import asyncio
+
+    from .core.config import P3SConfig
+    from .live.scenario import default_scenario, run_on_live, run_on_simulator
+
+    scenario = default_scenario()
+    passes = [("broadcast", P3SConfig())]
+    if not args.skip_delegated:
+        passes.append(
+            ("delegated matching", P3SConfig(delegated_matching=True, match_workers=1))
+        )
+    for label, config in passes:
+        simulated = run_on_simulator(scenario, config)
+        live = asyncio.run(run_on_live(scenario, config, expected=simulated))
+        print(f"--- {label} ---")
+        for name in sorted(live):
+            payloads = ", ".join(repr(p) for p in live[name]) or "(nothing)"
+            print(f"  {name}: {payloads}")
+        verdict = "MATCH" if simulated == live else "MISMATCH"
+        print(f"  simulator vs live delivery sets: {verdict}")
+        if simulated != live:
+            raise SystemExit(1)
+
+
+def _cmd_live_init(args) -> None:
+    from .live.runner import init_state
+
+    state = init_state(args.state, host=args.host, base_port=args.base_port)
+    plan = ", ".join(f"{name}={port}" for name, port in state.ports.items())
+    print(f"wrote deployment state to {args.state} ({plan})")
+
+
+def _make_serve_cmd(role: str):
+    def _cmd(args) -> None:
+        import asyncio
+
+        from .live.runner import load_state, serve_role
+
+        try:
+            asyncio.run(serve_role(role, load_state(args.state)))
+        except KeyboardInterrupt:
+            pass
+
+    return _cmd
+
+
+def _cmd_live_run(args) -> None:
+    import asyncio
+
+    from .live.runner import load_state, run_clients
+    from .live.scenario import default_scenario
+
+    delivered = asyncio.run(run_clients(load_state(args.state), default_scenario()))
+    for name in sorted(delivered):
+        payloads = ", ".join(repr(p) for p in delivered[name]) or "(nothing)"
+        print(f"{name}: {payloads}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="P3S reproduction — experiment runner"
@@ -207,6 +270,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     attacks = sub.add_parser("attacks", help="run the §6.1 token attacks")
     attacks.set_defaults(func=_cmd_attacks)
+
+    live = sub.add_parser("live", help="run P3S as real TCP services")
+    live_sub = live.add_subparsers(dest="live_command", required=True)
+
+    live_demo = live_sub.add_parser(
+        "demo", help="full scenario over loopback TCP, checked against the simulator"
+    )
+    live_demo.add_argument(
+        "--skip-delegated", action="store_true",
+        help="skip the delegated-matching pass (broadcast only)",
+    )
+    live_demo.set_defaults(func=_cmd_live_demo)
+
+    live_init = live_sub.add_parser(
+        "init", help="provision trust material for a multi-process deployment"
+    )
+    live_init.add_argument("--state", required=True, metavar="FILE")
+    live_init.add_argument("--host", default="127.0.0.1")
+    live_init.add_argument("--base-port", type=int, default=7341)
+    live_init.set_defaults(func=_cmd_live_init)
+
+    for role in ("ds", "rs", "pbe-ts", "anon"):
+        serve = live_sub.add_parser(
+            f"serve-{role}", help=f"serve the {role} from a state bundle"
+        )
+        serve.add_argument("--state", required=True, metavar="FILE")
+        serve.set_defaults(func=_make_serve_cmd(role))
+
+    live_run = live_sub.add_parser(
+        "run", help="drive scenario clients against running serve-* processes"
+    )
+    live_run.add_argument("--state", required=True, metavar="FILE")
+    live_run.set_defaults(func=_cmd_live_run)
     return parser
 
 

@@ -32,7 +32,11 @@ __all__ = [
     "SubscriberCredentials",
     "PublisherCredentials",
     "RegistrationAuthority",
+    "SERVICE_KEY_CONTEXT",
 ]
+
+# Domain-separation prefix for live-channel service-key signatures.
+SERVICE_KEY_CONTEXT = b"p3s-live-service-key-v1:"
 
 
 @dataclass
@@ -114,6 +118,17 @@ class RegistrationAuthority:
     def provision_pbe_ts(self) -> tuple[HVEMasterKey, VerifyKey]:
         """Hand the PBE master key + certificate-verification key to the PBE-TS."""
         return self._hve_master, self._signer.verify_key
+
+    def sign_service_key(self, name: str, key_bytes: bytes):
+        """Sign a live service's channel key binding (``name ↔ PKE key``).
+
+        The live TCP substrate (:mod:`repro.live`) authenticates servers
+        during its channel handshake with exactly this signature: clients
+        trust a (name, public key) pair iff it verifies under the ARA's
+        verify key — the ARA-issued "public key certificates" of §4.3
+        made concrete.
+        """
+        return self._signer.sign(SERVICE_KEY_CONTEXT + name.encode("utf-8") + key_bytes)
 
     @property
     def cpabe_public_key(self) -> CPABEPublicKey:

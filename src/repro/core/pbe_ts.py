@@ -38,6 +38,7 @@ from .messages import RPC_TOKEN_REQUEST
 __all__ = [
     "PBETokenServer",
     "SubscriptionPolicy",
+    "TokenIssuer",
     "encode_token_request",
     "decode_token_response",
 ]
@@ -115,8 +116,83 @@ def decode_token_response(session_key: bytes, sealed: bytes) -> bytes:
     return plaintext[1:]
 
 
+class TokenIssuer:
+    """The PBE-TS's substrate-free token-minting engine.
+
+    Holds the HVE master material, the certificate trust root, the
+    subscription policy, the per-subject quota counters, and the
+    honest-but-curious observation logs.  The simulator service
+    interleaves its compute-time yields between these calls; the live
+    asyncio service (:mod:`repro.live.services`) calls them back to
+    back — both substrates mint identical tokens for identical requests
+    because this is the only implementation.
+    """
+
+    def __init__(
+        self,
+        hve: HVE,
+        master_key: HVEMasterKey,
+        schema: MetadataSchema,
+        ara_verify_key: VerifyKey,
+        subscription_policy: SubscriptionPolicy | None = None,
+    ):
+        self.hve = hve
+        self.schema = schema
+        self.subscription_policy = subscription_policy
+        self._master = master_key
+        self._ara_verify_key = ara_verify_key
+        # Token generation is nothing but fixed-base scalar multiplications
+        # of g; warm its comb table so even the first request is fast.
+        precompute.warm_generator(hve.group)
+        # What this (honest-but-curious) server inevitably learns:
+        self.observed_predicates: list[tuple[float, str]] = []
+        self.observed_subjects: list[str] = []  # certificate pseudonyms
+        self.tokens_issued = 0
+        self._issued_by_subject: dict[str, int] = defaultdict(int)
+
+    def open_request(
+        self, pke: PKEKeyPair, payload: bytes
+    ) -> tuple[bytes, Certificate, Interest]:
+        """Decrypt and parse one token request under the server's PKE key."""
+        try:
+            body = json.loads(pke.decrypt(payload).decode("utf-8"))
+            session_key = bytes.fromhex(body["ks"])
+            certificate = Certificate.from_bytes(
+                bytes.fromhex(body["cert"]), self.hve.group.zr_bytes
+            )
+            interest = Interest.from_json(body["interest"])
+        except (DecryptionError, ValueError, KeyError) as exc:
+            raise TokenRequestError(f"malformed token request: {exc}") from exc
+        return session_key, certificate, interest
+
+    def authorize(self, certificate: Certificate, interest: Interest, now: float) -> None:
+        """Validate the certificate, log the observation, enforce policy.
+
+        Raises :class:`CertificateError` / :class:`TokenRequestError` on
+        refusal; the predicate is logged as soon as the certificate
+        checks out (the paper's exposure: the PBE-TS *sees* it either way).
+        """
+        certificate.validate(self._ara_verify_key, "subscriber", now=now)
+        self.observed_subjects.append(certificate.subject)
+        self.observed_predicates.append((now, interest.to_json()))
+        if self.subscription_policy is not None:
+            self.subscription_policy.check(
+                certificate.subject,
+                interest,
+                self._issued_by_subject[certificate.subject],
+            )
+
+    def mint(self, subject: str, interest: Interest) -> bytes:
+        """Generate and serialize the PBE token; counts against quota."""
+        token = self.hve.gen_token(self._master, self.schema.encode_interest(interest))
+        token_bytes = serialize_hve_token(self.hve.group, token)
+        self.tokens_issued += 1
+        self._issued_by_subject[subject] += 1
+        return token_bytes
+
+
 class PBETokenServer:
-    """The PBE-TS service process."""
+    """The PBE-TS service process on the simulator substrate."""
 
     def __init__(
         self,
@@ -132,21 +208,13 @@ class PBETokenServer:
         self.hve = hve
         self.schema = schema
         self.timings = timings
-        self.subscription_policy = subscription_policy
-        self._master = master_key
-        self._ara_verify_key = ara_verify_key
+        self.issuer = TokenIssuer(
+            hve, master_key, schema, ara_verify_key, subscription_policy
+        )
         self.pke = PKEKeyPair(hve.group)
-        # Token generation is nothing but fixed-base scalar multiplications
-        # of g; warm its comb table so even the first request is fast.
-        precompute.warm_generator(hve.group)
         self.rpc = RpcEndpoint(SecureChannelLayer(host))
         self.rpc.serve(RPC_TOKEN_REQUEST, self._handle_token_request)
-        # What this (honest-but-curious) server inevitably learns:
-        self.observed_predicates: list[tuple[float, str]] = []
-        self.observed_sources: list[str] = []
-        self.observed_subjects: list[str] = []  # certificate pseudonyms
-        self.tokens_issued = 0
-        self._issued_by_subject: dict[str, int] = defaultdict(int)
+        self.observed_sources: list[str] = []  # transport-level view
 
     @property
     def name(self) -> str:
@@ -155,6 +223,23 @@ class PBETokenServer:
     @property
     def sim(self):
         return self.host.network.sim
+
+    @property
+    def subscription_policy(self) -> SubscriptionPolicy | None:
+        return self.issuer.subscription_policy
+
+    # engine observation logs, surfaced under their historical names
+    @property
+    def observed_predicates(self) -> list[tuple[float, str]]:
+        return self.issuer.observed_predicates
+
+    @property
+    def observed_subjects(self) -> list[str]:
+        return self.issuer.observed_subjects
+
+    @property
+    def tokens_issued(self) -> int:
+        return self.issuer.tokens_issued
 
     def start(self) -> None:
         self.rpc.start()
@@ -171,27 +256,18 @@ class PBETokenServer:
         yield self.sim.timeout(self.timings.pke_op)
         try:
             with obs.attach(span):
-                session_key, certificate, interest = self._open_request(message.payload)
+                session_key, certificate, interest = self.issuer.open_request(
+                    self.pke, message.payload
+                )
         except TokenRequestError:
             obs.end_span(span, status="malformed")
             return (_ERR, 1)  # cannot even recover K_s; reply with a bare error
         status = "ok"
         try:
-            self._validate(certificate)
-            self.observed_subjects.append(certificate.subject)
-            self.observed_predicates.append((self.sim.now, interest.to_json()))
-            if self.subscription_policy is not None:
-                self.subscription_policy.check(
-                    certificate.subject,
-                    interest,
-                    self._issued_by_subject[certificate.subject],
-                )
+            self.issuer.authorize(certificate, interest, now=self.sim.now)
             yield self.sim.timeout(self.timings.pbe_token_gen)
             with obs.attach(span):
-                token = self.hve.gen_token(self._master, self.schema.encode_interest(interest))
-            token_bytes = serialize_hve_token(self.hve.group, token)
-            self.tokens_issued += 1
-            self._issued_by_subject[certificate.subject] += 1
+                token_bytes = self.issuer.mint(certificate.subject, interest)
             reply = _OK + token_bytes
         except (CertificateError, SchemaError, TokenRequestError) as exc:
             reply = _ERR + str(exc).encode("utf-8")
@@ -201,18 +277,3 @@ class PBETokenServer:
             sealed = SecretBox(session_key).seal(reply)
         obs.end_span(span, status=status)
         return (sealed, len(sealed))
-
-    def _open_request(self, payload: bytes) -> tuple[bytes, Certificate, Interest]:
-        try:
-            body = json.loads(self.pke.decrypt(payload).decode("utf-8"))
-            session_key = bytes.fromhex(body["ks"])
-            certificate = Certificate.from_bytes(
-                bytes.fromhex(body["cert"]), self.hve.group.zr_bytes
-            )
-            interest = Interest.from_json(body["interest"])
-        except (DecryptionError, ValueError, KeyError) as exc:
-            raise TokenRequestError(f"malformed token request: {exc}") from exc
-        return session_key, certificate, interest
-
-    def _validate(self, certificate: Certificate) -> None:
-        certificate.validate(self._ara_verify_key, "subscriber", now=self.sim.now)

@@ -32,7 +32,34 @@ from .config import ComputeTimings
 from .guid import random_guid
 from .messages import KIND_METADATA, KIND_PAYLOAD, EncryptedMetadata, PayloadSubmission
 
-__all__ = ["Publisher", "PublicationRecord"]
+__all__ = [
+    "Publisher",
+    "PublicationRecord",
+    "encrypt_metadata_envelope",
+    "encrypt_payload_ciphertext",
+]
+
+
+def encrypt_metadata_envelope(hve, group, hve_public_key, schema, metadata, guid):
+    """Steps 1–2 of §4.3: PBE-encrypt the GUID under the item's metadata.
+
+    Returns the serialized HVE ciphertext bytes.  Substrate-free — both
+    the simulator publisher and :class:`repro.live.clients.LivePublisher`
+    call exactly this, so the two substrates put identical protocol
+    content on the wire.
+    """
+    attribute_vector = schema.encode_metadata(metadata)
+    hve_ciphertext = hve.encrypt(hve_public_key, attribute_vector, guid)
+    return serialize_hve_ciphertext(group, hve_ciphertext)
+
+
+def encrypt_payload_ciphertext(cpabe, group, cpabe_public_key, guid, payload, policy):
+    """Step 3 of §4.3: CP-ABE-encrypt the 2-tuple (GUID, payload).
+
+    Returns the serialized hybrid ciphertext bytes.
+    """
+    hybrid = cpabe.encrypt(cpabe_public_key, guid + payload, policy)
+    return serialize_hybrid(group, hybrid)
 
 
 @dataclass
@@ -125,11 +152,14 @@ class Publisher:
         step = obs.start_span("pbe.encrypt", component=self.name, parent=root)
         yield self.sim.timeout(self.timings.pbe_encrypt)
         with obs.attach(step):
-            attribute_vector = schema.encode_metadata(record.metadata)
-            hve_ciphertext = self.hve.encrypt(
-                self.credentials.hve_public_key, attribute_vector, record.guid
+            hve_bytes = encrypt_metadata_envelope(
+                self.hve,
+                self.group,
+                self.credentials.hve_public_key,
+                schema,
+                record.metadata,
+                record.guid,
             )
-            hve_bytes = serialize_hve_ciphertext(self.group, hve_ciphertext)
         record.metadata_bytes = len(hve_bytes)
         obs.end_span(step, bytes=record.metadata_bytes)
         envelope = EncryptedMetadata(hve_bytes=hve_bytes, publication_id=record.publication_id)
@@ -145,10 +175,14 @@ class Publisher:
             self.timings.cpabe_encrypt + self.timings.symmetric(len(payload))
         )
         with obs.attach(step):
-            hybrid = self.cpabe.encrypt(
-                self.credentials.cpabe_public_key, record.guid + payload, record.policy
+            ciphertext = encrypt_payload_ciphertext(
+                self.cpabe,
+                self.group,
+                self.credentials.cpabe_public_key,
+                record.guid,
+                payload,
+                record.policy,
             )
-            ciphertext = serialize_hybrid(self.group, hybrid)
         record.payload_bytes = len(ciphertext)
         obs.end_span(step, bytes=record.payload_bytes)
         submission = PayloadSubmission(

@@ -13,6 +13,11 @@ Deletion (§4.3): each item carries TTL_item; the RS deletes it at
 slow consumers.  ``T_G = 0`` gives the strict interpretation, at the cost
 of more failed fetches.
 
+The storage/TTL/crypto logic lives in the substrate-free
+:class:`RepositoryStore` engine, shared verbatim by this simulator
+service and the asyncio TCP service in :mod:`repro.live.services` — both
+substrates serve byte-identical replies because they run the same engine.
+
 Like the PBE-TS, the RS records what an honest-but-curious operator would
 inevitably learn (request counts per stored item, item sizes, whether an
 item was ever matched) — the privacy analysis asserts over these logs.
@@ -21,7 +26,7 @@ item was ever matched) — the privacy analysis asserts over these logs.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..crypto.pke import PKEKeyPair
 from ..crypto.group import PairingGroup
@@ -34,7 +39,13 @@ from ..obs import profile as obs
 from .config import ComputeTimings
 from .messages import RPC_RETRIEVE, RPC_STORE, PayloadSubmission
 
-__all__ = ["RepositoryServer", "encode_retrieval_request", "decode_retrieval_response"]
+__all__ = [
+    "RepositoryServer",
+    "RepositoryStore",
+    "encode_retrieval_request",
+    "decode_retrieval_request",
+    "decode_retrieval_response",
+]
 
 _OK = b"\x01"
 _ERR = b"\x00"
@@ -43,6 +54,19 @@ _ERR = b"\x00"
 def encode_retrieval_request(session_key: bytes, guid: bytes) -> bytes:
     """Plaintext body of the 2-tuple (K_s, GUID)."""
     return json.dumps({"ks": session_key.hex(), "guid": guid.hex()}).encode("utf-8")
+
+
+def decode_retrieval_request(pke: PKEKeyPair, payload: bytes) -> tuple[bytes, bytes]:
+    """PKE-decrypt and parse one retrieval request; returns ``(K_s, GUID)``.
+
+    Raises :class:`RetrievalError` when the request is malformed or not
+    addressed to this server's key.
+    """
+    try:
+        body = json.loads(pke.decrypt(payload).decode("utf-8"))
+        return bytes.fromhex(body["ks"]), bytes.fromhex(body["guid"])
+    except (DecryptionError, ValueError, KeyError) as exc:
+        raise RetrievalError(f"malformed retrieval request: {exc}") from exc
 
 
 def decode_retrieval_response(session_key: bytes, sealed: bytes) -> bytes:
@@ -66,8 +90,61 @@ class _StoredItem:
     request_count: int = 0
 
 
+class RepositoryStore:
+    """The RS's substrate-free storage engine (the "disk").
+
+    Every method takes ``now`` explicitly — the simulator passes
+    ``sim.now``, the live service passes its wall clock — so TTL
+    semantics are identical on both substrates.
+    """
+
+    def __init__(self, t_g: float = 60.0):
+        self.t_g = t_g
+        self._items: dict[bytes, _StoredItem] = {}
+        self.stored_count = 0
+        self.expired_count = 0
+        self.failed_retrievals = 0
+
+    def store(self, submission: PayloadSubmission, now: float) -> None:
+        self._items[submission.guid] = _StoredItem(
+            ciphertext=submission.ciphertext,
+            stored_at=now,
+            expires_at=now + submission.ttl_s + self.t_g,
+        )
+        self.stored_count += 1
+
+    def lookup(self, guid: bytes, now: float) -> tuple[bytes, str]:
+        """Reply plaintext for one GUID: ``(status_byte + body, status)``."""
+        item = self._items.get(guid)
+        if item is None or now >= item.expires_at:
+            self.failed_retrievals += 1
+            return _ERR + b"no such item (unknown GUID or expired)", "miss"
+        item.request_count += 1
+        return _OK + item.ciphertext, "hit"
+
+    def collect_garbage(self, now: float) -> int:
+        """Drop every item past ``TTL_item + T_G``; returns how many."""
+        expired = [guid for guid, item in self._items.items() if now >= item.expires_at]
+        for guid in expired:
+            del self._items[guid]
+        self.expired_count += len(expired)
+        return len(expired)
+
+    def holds(self, guid: bytes, now: float) -> bool:
+        item = self._items.get(guid)
+        return item is not None and now < item.expires_at
+
+    def request_count(self, guid: bytes) -> int:
+        item = self._items.get(guid)
+        return 0 if item is None else item.request_count
+
+    @property
+    def item_count(self) -> int:
+        return len(self._items)
+
+
 class RepositoryServer:
-    """The RS service process."""
+    """The RS service process on the simulator substrate."""
 
     def __init__(
         self,
@@ -85,14 +162,11 @@ class RepositoryServer:
         self.rpc = RpcEndpoint(SecureChannelLayer(host))
         self.rpc.serve(RPC_STORE, self._handle_store)
         self.rpc.serve(RPC_RETRIEVE, self._handle_retrieve)
-        # _items models the on-disk store: "The RS stores encrypted content
-        # on disk" (§6.1) — it survives crash()/restart().
-        self._items: dict[bytes, _StoredItem] = {}
+        # the engine models the on-disk store: "The RS stores encrypted
+        # content on disk" (§6.1) — it survives crash()/restart().
+        self.store = RepositoryStore(t_g=t_g)
         self.crashed = False
         # HBC-observable state (consumed by the privacy analysis):
-        self.stored_count = 0
-        self.expired_count = 0
-        self.failed_retrievals = 0
         self.observed_sources: list[str] = []
 
     @property
@@ -102,6 +176,19 @@ class RepositoryServer:
     @property
     def sim(self):
         return self.host.network.sim
+
+    # engine counters, surfaced under their historical names
+    @property
+    def stored_count(self) -> int:
+        return self.store.stored_count
+
+    @property
+    def expired_count(self) -> int:
+        return self.store.expired_count
+
+    @property
+    def failed_retrievals(self) -> int:
+        return self.store.failed_retrievals
 
     def start(self) -> None:
         self.rpc.start()
@@ -119,12 +206,7 @@ class RepositoryServer:
             parent=obs.extract(message.headers),
             bytes=len(submission.ciphertext),
         ):
-            self._items[submission.guid] = _StoredItem(
-                ciphertext=submission.ciphertext,
-                stored_at=self.sim.now,
-                expires_at=self.sim.now + submission.ttl_s + self.t_g,
-            )
-            self.stored_count += 1
+            self.store.store(submission, now=self.sim.now)
 
     # -- retrieve (request-response via anonymizer) ---------------------------------
 
@@ -138,21 +220,11 @@ class RepositoryServer:
         yield self.sim.timeout(self.timings.pke_op)
         try:
             with obs.attach(span):
-                body = json.loads(self.pke.decrypt(message.payload).decode("utf-8"))
-            session_key = bytes.fromhex(body["ks"])
-            guid = bytes.fromhex(body["guid"])
-        except (DecryptionError, ValueError, KeyError):
+                session_key, guid = decode_retrieval_request(self.pke, message.payload)
+        except RetrievalError:
             obs.end_span(span, status="malformed")
             return (_ERR, 1)
-        item = self._items.get(guid)
-        if item is None or self.sim.now >= item.expires_at:
-            self.failed_retrievals += 1
-            reply = _ERR + b"no such item (unknown GUID or expired)"
-            status = "miss"
-        else:
-            item.request_count += 1
-            reply = _OK + item.ciphertext
-            status = "hit"
+        reply, status = self.store.lookup(guid, now=self.sim.now)
         yield self.sim.timeout(self.timings.symmetric(len(reply)))
         with obs.attach(span):
             sealed = SecretBox(session_key).seal(reply)
@@ -169,12 +241,7 @@ class RepositoryServer:
 
     def collect_garbage(self) -> int:
         """Drop every item past ``TTL_item + T_G``; returns how many."""
-        now = self.sim.now
-        expired = [guid for guid, item in self._items.items() if now >= item.expires_at]
-        for guid in expired:
-            del self._items[guid]
-        self.expired_count += len(expired)
-        return len(expired)
+        return self.store.collect_garbage(now=self.sim.now)
 
     # -- crash / restart (§6.1) --------------------------------------------------------
 
@@ -191,13 +258,11 @@ class RepositoryServer:
     # -- introspection ---------------------------------------------------------------------
 
     def holds(self, guid: bytes) -> bool:
-        item = self._items.get(guid)
-        return item is not None and self.sim.now < item.expires_at
+        return self.store.holds(guid, now=self.sim.now)
 
     def request_count(self, guid: bytes) -> int:
-        item = self._items.get(guid)
-        return 0 if item is None else item.request_count
+        return self.store.request_count(guid)
 
     @property
     def item_count(self) -> int:
-        return len(self._items)
+        return self.store.item_count

@@ -27,7 +27,7 @@ from ..abe.hybrid import HybridCPABE
 from ..abe.serialize import deserialize_hybrid
 from ..crypto.group import PairingGroup
 from ..crypto.symmetric import SecretBox
-from ..errors import DecryptionError, RetrievalError, TokenRequestError
+from ..errors import DecryptionError, GuidMismatchError, RetrievalError, TokenRequestError
 from ..mq.client import JmsConnection
 from ..obs import profile as obs
 from ..pbe.hve import HVE, HVEToken
@@ -51,7 +51,45 @@ from .messages import (
 from .pbe_ts import decode_token_response, encode_token_request
 from .rs import decode_retrieval_response, encode_retrieval_request
 
-__all__ = ["Subscriber", "Delivery", "SubscriberStats"]
+__all__ = [
+    "Subscriber",
+    "Delivery",
+    "SubscriberStats",
+    "match_tokens",
+    "open_delivery",
+]
+
+
+def match_tokens(hve, tokens, ciphertext):
+    """Local matching: test each held token against one broadcast.
+
+    ``tokens`` is the subscriber's ``(interest, token)`` list; returns
+    ``(guid_or_None, attempts)``.  Substrate-free — the live subscriber
+    runs exactly this loop; the simulator subscriber interleaves its
+    modeled per-attempt compute time but performs the same queries.
+    """
+    attempts = 0
+    for _, token in tokens:
+        attempts += 1
+        guid = hve.query(token, ciphertext)
+        if guid is not None:
+            return guid, attempts
+    return None, attempts
+
+
+def open_delivery(cpabe, group, secret_key, guid, guid_bytes, ciphertext_bytes):
+    """CP-ABE-decrypt one retrieved payload and verify its embedded GUID.
+
+    Returns the application payload.  Raises :class:`DecryptionError`
+    when the subscriber's attributes do not satisfy the policy, and
+    :class:`GuidMismatchError` when decryption succeeds but the recovered
+    GUID differs from the requested one (§4.3 correlation check).
+    """
+    plaintext = cpabe.decrypt(secret_key, deserialize_hybrid(group, ciphertext_bytes))
+    recovered_guid, payload = plaintext[:guid_bytes], plaintext[guid_bytes:]
+    if recovered_guid != guid:
+        raise GuidMismatchError("recovered GUID does not match the requested one")
+    return payload
 
 
 @dataclass(frozen=True)
@@ -282,21 +320,25 @@ class Subscriber:
         )
         try:
             with obs.attach(step):
-                plaintext = self.cpabe.decrypt(
+                payload = open_delivery(
+                    self.cpabe,
+                    self.group,
                     self.credentials.cpabe_secret_key,
-                    deserialize_hybrid(self.group, ciphertext_bytes),
+                    guid,
+                    self.guid_bytes,
+                    ciphertext_bytes,
                 )
+        except GuidMismatchError:
+            self.stats.access_denied += 1  # treat as undecodable
+            obs.end_span(step)
+            obs.end_span(span, status="guid_mismatch", attempts=attempt + 1)
+            return
         except DecryptionError:
             self.stats.access_denied += 1
             obs.end_span(step, status="denied")
             obs.end_span(span, status="access_denied", attempts=attempt + 1)
             return
         obs.end_span(step)
-        recovered_guid, payload = plaintext[: self.guid_bytes], plaintext[self.guid_bytes :]
-        if recovered_guid != guid:
-            self.stats.access_denied += 1  # treat as undecodable
-            obs.end_span(span, status="guid_mismatch", attempts=attempt + 1)
-            return
         delivery = Delivery(
             publication_id=publication_id,
             guid=guid,

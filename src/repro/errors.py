@@ -57,6 +57,12 @@ class PredicateMismatchError(DecryptionError):
     """A PBE token did not match the ciphertext's attribute vector."""
 
 
+class GuidMismatchError(DecryptionError):
+    """A retrieved payload decrypted, but its embedded GUID does not match
+    the requested one (§4.3: the recovered GUID correlates request and
+    response; a mismatch is treated as undecodable)."""
+
+
 class SchemaError(ReproError):
     """Metadata or predicate violates the registered metadata schema."""
 
@@ -66,7 +72,23 @@ class SchemaError(ReproError):
 # --------------------------------------------------------------------------
 
 class NetworkError(ReproError):
-    """Base class for simulated-network failures."""
+    """Base class for network failures (simulated or live)."""
+
+
+class TransportError(NetworkError):
+    """A transport-level failure: connect/dial errors, timeouts, broken
+    or half-closed connections, reconnect budgets exhausted."""
+
+
+class HandshakeError(TransportError):
+    """Secure-channel establishment failed (bad server key, tampered
+    hello, certificate/signature rejection, protocol mismatch)."""
+
+
+class MessageLossError(TransportError):
+    """A sequence gap on a secure channel: one or more protected records
+    were lost or reordered (§6.1: "participants can detect if network
+    failures cause message loss")."""
 
 
 class ChannelClosedError(NetworkError):

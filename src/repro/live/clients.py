@@ -1,0 +1,429 @@
+"""Live publisher and subscriber clients.
+
+These are the TCP counterparts of :class:`repro.core.publisher.Publisher`
+and :class:`repro.core.subscriber.Subscriber`.  All protocol-content
+construction is delegated to the substrate-free helpers the simulator
+clients use — :func:`~repro.core.publisher.encrypt_metadata_envelope`,
+:func:`~repro.core.publisher.encrypt_payload_ciphertext`,
+:func:`~repro.core.subscriber.match_tokens`,
+:func:`~repro.core.subscriber.open_delivery`, and the
+``encode_*``/``decode_*`` request codecs — so a live deployment delivers
+exactly what a simulated one delivers for the same scenario.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from typing import Callable
+
+from ..abe.hybrid import HybridCPABE
+from ..abe.policy import PolicyNode
+from ..crypto.group import PairingGroup
+from ..crypto.symmetric import SecretBox
+from ..errors import (
+    DecryptionError,
+    GuidMismatchError,
+    RetrievalError,
+    TokenRequestError,
+    TransportError,
+)
+from ..core.ara import PublisherCredentials, SubscriberCredentials
+from ..core.guid import random_guid
+from ..core.messages import (
+    KIND_METADATA,
+    KIND_PAYLOAD,
+    KIND_TOKEN_REG,
+    KIND_TOKEN_UNREG,
+    RPC_ANON_FORWARD,
+    RPC_RETRIEVE,
+    RPC_TOKEN_REQUEST,
+    AnonEnvelope,
+    EncryptedMetadata,
+    PayloadSubmission,
+)
+from ..core.pbe_ts import decode_token_response, encode_token_request
+from ..core.publisher import (
+    PublicationRecord,
+    encrypt_metadata_envelope,
+    encrypt_payload_ciphertext,
+)
+from ..core.rs import decode_retrieval_response, encode_retrieval_request
+from ..core.subscriber import Delivery, SubscriberStats, match_tokens, open_delivery
+from ..mq import messages as frames
+from ..mq.messages import JmsFrame
+from ..obs import profile as obs
+from ..pbe.hve import HVE, HVEToken
+from ..pbe.schema import Interest
+from ..pbe.serialize import (
+    deserialize_hve_ciphertext,
+    deserialize_hve_token,
+    serialize_hve_token,
+)
+from .rpc import LiveRpcEndpoint
+
+__all__ = ["LivePublisher", "LiveSubscriber"]
+
+
+class LivePublisher:
+    """One P3S publisher speaking the live JMS dialect to the DS."""
+
+    _publication_ids = itertools.count(1)
+    _frame_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        credentials: PublisherCredentials,
+        endpoint: LiveRpcEndpoint,
+        group: PairingGroup,
+        guid_bytes: int = 16,
+        publish_topic: str = "p3s.publish",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.credentials = credentials
+        self.endpoint = endpoint
+        self.group = group
+        self.guid_bytes = guid_bytes
+        self.publish_topic = publish_topic
+        self.clock = clock
+        self.hve = HVE(group)
+        self.cpabe = HybridCPABE(group)
+        self.published: list[PublicationRecord] = []
+
+    @property
+    def name(self) -> str:
+        return self.credentials.name
+
+    @property
+    def directory(self):
+        return self.credentials.directory
+
+    async def connect(self) -> None:
+        """Open the live channel to the DS (JMS CONNECT)."""
+        await self.endpoint.cast(
+            self.directory.ds_name, frames.CONNECT, JmsFrame(topic="")
+        )
+
+    async def _send_to_ds(self, body, body_size: int, headers: dict) -> None:
+        frame = JmsFrame(
+            topic=self.publish_topic,
+            body=body,
+            body_size=body_size,
+            message_id=next(self._frame_ids),
+            headers=headers,
+        )
+        await self.endpoint.cast(self.directory.ds_name, frames.PUBLISH, frame)
+
+    async def publish(
+        self,
+        metadata: dict[str, str],
+        payload: bytes,
+        policy: str | PolicyNode,
+        ttl_s: float = 3600.0,
+    ) -> PublicationRecord:
+        """Run the §4.3 publication protocol over TCP; returns the record."""
+        record = PublicationRecord(
+            publication_id=next(self._publication_ids),
+            guid=random_guid(self.guid_bytes),
+            metadata=dict(metadata),
+            policy=policy,
+            ttl_s=ttl_s,
+            submitted_at=self.clock(),
+        )
+        self.published.append(record)
+        root = obs.start_span(
+            "publish", component=self.name, publication_id=record.publication_id
+        )
+
+        step = obs.start_span("pbe.encrypt", component=self.name, parent=root)
+        with obs.attach(step):
+            hve_bytes = encrypt_metadata_envelope(
+                self.hve,
+                self.group,
+                self.credentials.hve_public_key,
+                self.credentials.schema,
+                record.metadata,
+                record.guid,
+            )
+        record.metadata_bytes = len(hve_bytes)
+        obs.end_span(step, bytes=record.metadata_bytes)
+        envelope = EncryptedMetadata(
+            hve_bytes=hve_bytes, publication_id=record.publication_id
+        )
+        await self._send_to_ds(
+            envelope,
+            envelope.wire_size,
+            obs.inject({"p3s-kind": KIND_METADATA}, root),
+        )
+
+        step = obs.start_span("abe.encrypt", component=self.name, parent=root)
+        with obs.attach(step):
+            ciphertext = encrypt_payload_ciphertext(
+                self.cpabe,
+                self.group,
+                self.credentials.cpabe_public_key,
+                record.guid,
+                payload,
+                record.policy,
+            )
+        record.payload_bytes = len(ciphertext)
+        obs.end_span(step, bytes=record.payload_bytes)
+        submission = PayloadSubmission(
+            guid=record.guid, ciphertext=ciphertext, ttl_s=record.ttl_s
+        )
+        await self._send_to_ds(
+            submission,
+            submission.wire_size,
+            obs.inject({"p3s-kind": KIND_PAYLOAD}, root),
+        )
+        obs.end_span(root)
+        return record
+
+    async def close(self) -> None:
+        await self.endpoint.close()
+
+
+class LiveSubscriber:
+    """One P3S subscriber endpoint on the live substrate.
+
+    The DS pushes ``jms.deliver`` frames back over the connection this
+    subscriber opened; each one triggers the same local match → retrieve
+    → decrypt pipeline as the simulator subscriber.
+    """
+
+    _frame_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        credentials: SubscriberCredentials,
+        endpoint: LiveRpcEndpoint,
+        group: PairingGroup,
+        use_anonymizer: bool = True,
+        guid_bytes: int = 16,
+        metadata_topic: str = "p3s.metadata",
+        on_payload: Callable[[Delivery], None] | None = None,
+        retrieval_retries: int = 3,
+        retry_delay_s: float = 0.05,
+        delegate_tokens: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.credentials = credentials
+        self.endpoint = endpoint
+        self.group = group
+        self.use_anonymizer = use_anonymizer
+        self.guid_bytes = guid_bytes
+        self.metadata_topic = metadata_topic
+        self.on_payload = on_payload
+        self.retrieval_retries = retrieval_retries
+        self.retry_delay_s = retry_delay_s
+        self.delegate_tokens = delegate_tokens
+        self.clock = clock
+        self.hve = HVE(group)
+        self.cpabe = HybridCPABE(group)
+        self.stats = SubscriberStats()
+        self.tokens: list[tuple[Interest, HVEToken]] = []
+        self._delivery_event = asyncio.Event()
+        endpoint.serve(frames.DELIVER, self._on_deliver)
+
+    @property
+    def name(self) -> str:
+        return self.credentials.name
+
+    @property
+    def directory(self):
+        return self.credentials.directory
+
+    async def connect(self) -> None:
+        """JMS CONNECT + SUBSCRIBE to the metadata topic."""
+        await self.endpoint.cast(
+            self.directory.ds_name, frames.CONNECT, JmsFrame(topic="")
+        )
+        await self.endpoint.cast(
+            self.directory.ds_name,
+            frames.SUBSCRIBE,
+            JmsFrame(topic=self.metadata_topic),
+        )
+
+    # -- subscription (Fig. 3) -------------------------------------------------
+
+    async def subscribe(self, interest: Interest) -> HVEToken:
+        """Obtain a PBE token for ``interest`` via the live PBE-TS."""
+        root = obs.start_span("subscribe", component=self.name)
+        session_key = SecretBox.generate_key()
+        with obs.attach(root):
+            body = encode_token_request(
+                session_key, self.credentials.certificate, interest, self.group.zr_bytes
+            )
+        request = self.directory.pbe_ts_public_key.encrypt(body)
+        sealed = await self._anonymized_call(
+            self.directory.pbe_ts_name, RPC_TOKEN_REQUEST, request, span=root
+        )
+        try:
+            token_bytes = decode_token_response(session_key, sealed)
+        except (TokenRequestError, DecryptionError) as exc:
+            obs.end_span(root, status="refused")
+            raise TokenRequestError(f"{self.name}: token request failed: {exc}") from exc
+        token = deserialize_hve_token(self.group, token_bytes)
+        self.tokens.append((interest, token))
+        await self._register_with_ds(token, KIND_TOKEN_REG)
+        obs.end_span(root, status="ok")
+        return token
+
+    async def _register_with_ds(self, token: HVEToken, kind: str) -> None:
+        if not self.delegate_tokens:
+            return
+        data = serialize_hve_token(self.group, token)
+        frame = JmsFrame(
+            topic=self.metadata_topic,
+            body=data,
+            body_size=len(data),
+            message_id=next(self._frame_ids),
+            headers={"p3s-kind": kind},
+        )
+        await self.endpoint.cast(self.directory.ds_name, frames.PUBLISH, frame)
+
+    async def unsubscribe(self, interest: Interest) -> bool:
+        """Drop the local token (and its DS registration, if delegated)."""
+        for index, (held, token) in enumerate(self.tokens):
+            if held.constraints == interest.constraints:
+                del self.tokens[index]
+                await self._register_with_ds(token, KIND_TOKEN_UNREG)
+                return True
+        return False
+
+    # -- metadata matching + retrieval ------------------------------------------
+
+    async def _on_deliver(self, src: str, message) -> None:
+        frame: JmsFrame = message.payload
+        if frame.topic != self.metadata_topic:
+            return
+        envelope: EncryptedMetadata = frame.body
+        self.stats.metadata_seen += 1
+        span = obs.start_span(
+            "subscriber.match",
+            component=self.name,
+            parent=obs.extract(frame.headers),
+            publication_id=envelope.publication_id,
+        )
+        with obs.attach(span):
+            ciphertext = deserialize_hve_ciphertext(self.group, envelope.hve_bytes)
+            guid, attempts = match_tokens(self.hve, self.tokens, ciphertext)
+        obs.end_span(span, matched=guid is not None, attempts=attempts)
+        if guid is None:
+            self.stats.non_matches += 1
+            return
+        self.stats.matches += 1
+        await self._retrieve(guid, envelope.publication_id, parent=span)
+
+    async def _retrieve(self, guid: bytes, publication_id: int, parent=None) -> None:
+        span = obs.start_span(
+            "subscriber.retrieve",
+            component=self.name,
+            parent=parent,
+            publication_id=publication_id,
+        )
+        ciphertext_bytes = None
+        attempt = 0
+        for attempt in range(self.retrieval_retries + 1):
+            if attempt:
+                # same race as the simulator: the payload may still be in
+                # flight DS→RS when a fast matcher asks for it
+                await asyncio.sleep(self.retry_delay_s)
+            session_key = SecretBox.generate_key()
+            body = encode_retrieval_request(session_key, guid)
+            request = self.directory.rs_public_key.encrypt(body)
+            try:
+                sealed = await self._anonymized_call(
+                    self.directory.rs_name, RPC_RETRIEVE, request, span=span
+                )
+            except TransportError:
+                continue
+            try:
+                ciphertext_bytes = decode_retrieval_response(session_key, sealed)
+                break
+            except (RetrievalError, DecryptionError):
+                continue
+        if ciphertext_bytes is None:
+            self.stats.failed_fetches += 1
+            obs.end_span(span, status="failed_fetch", attempts=attempt + 1)
+            return
+        step = obs.start_span("abe.decrypt", component=self.name, parent=span)
+        try:
+            with obs.attach(step):
+                payload = open_delivery(
+                    self.cpabe,
+                    self.group,
+                    self.credentials.cpabe_secret_key,
+                    guid,
+                    self.guid_bytes,
+                    ciphertext_bytes,
+                )
+        except GuidMismatchError:
+            self.stats.access_denied += 1
+            obs.end_span(step)
+            obs.end_span(span, status="guid_mismatch", attempts=attempt + 1)
+            return
+        except DecryptionError:
+            self.stats.access_denied += 1
+            obs.end_span(step, status="denied")
+            obs.end_span(span, status="access_denied", attempts=attempt + 1)
+            return
+        obs.end_span(step)
+        delivery = Delivery(
+            publication_id=publication_id,
+            guid=guid,
+            payload=payload,
+            delivered_at=self.clock(),
+        )
+        self.stats.deliveries.append(delivery)
+        self._delivery_event.set()
+        obs.end_span(
+            obs.start_span(
+                "deliver",
+                component=self.name,
+                parent=span,
+                publication_id=publication_id,
+                bytes=len(payload),
+            )
+        )
+        obs.end_span(span, status="delivered", attempts=attempt + 1)
+        if self.on_payload is not None:
+            self.on_payload(delivery)
+
+    async def wait_for_deliveries(self, count: int, timeout_s: float = 30.0) -> None:
+        """Block until this subscriber has at least ``count`` deliveries."""
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while True:
+            # clear-then-check: a delivery landing in between re-sets the
+            # event, so the wait below returns immediately
+            self._delivery_event.clear()
+            if len(self.stats.deliveries) >= count:
+                return
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TransportError(
+                    f"{self.name}: only {len(self.stats.deliveries)}/{count} "
+                    f"deliveries after {timeout_s}s"
+                )
+            try:
+                await asyncio.wait_for(self._delivery_event.wait(), remaining)
+            except asyncio.TimeoutError:
+                pass
+
+    # -- transport helper -------------------------------------------------------
+
+    async def _anonymized_call(self, dst: str, msg_type: str, request: bytes, span=None):
+        headers = obs.inject({}, span)
+        if self.use_anonymizer and self.directory.anonymizer_name:
+            envelope = AnonEnvelope(dst=dst, inner_type=msg_type, inner_payload=request)
+            return await self.endpoint.call(
+                self.directory.anonymizer_name,
+                RPC_ANON_FORWARD,
+                envelope,
+                headers=headers,
+            )
+        return await self.endpoint.call(dst, msg_type, request, headers=headers)
+
+    async def close(self) -> None:
+        await self.endpoint.close()

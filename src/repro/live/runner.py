@@ -1,0 +1,220 @@
+"""Multi-process deployment: shared state + per-role service runners.
+
+A live P3S deployment split across OS processes needs all parties to
+agree on the trust root — the ARA's keys, each service's channel
+identity, the RS/PBE-TS PKE keypairs, and the port plan.  The paper's
+answer is registration: the ARA provisions everyone *before* traffic
+flows (§4.3).  :func:`init_state` is that registration step as a CLI
+action — it mints everything once and writes a state bundle to disk;
+``repro live serve-<role> --state FILE`` processes then load the bundle
+and serve exactly one party, and ``repro live run --state FILE`` drives
+publisher/subscriber clients against them.
+
+The bundle contains private key material (it *is* the ARA), so it is
+plainly a secrets file: keep it on the deployment host.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+from dataclasses import dataclass, field
+
+from ..core.ara import RegistrationAuthority
+from ..core.config import P3SConfig
+from ..core.pbe_ts import TokenIssuer
+from ..crypto.group import PairingGroup
+from ..crypto.pke import PKEKeyPair
+from ..errors import RegistrationError
+from ..pbe.hve import HVE
+from .channel import ServerIdentity
+from .clients import LivePublisher, LiveSubscriber
+from .deployment import ANON_NAME, DS_NAME, PBE_TS_NAME, RS_NAME
+from .rpc import AddressBook, LiveRpcEndpoint
+from .services import (
+    LiveAnonymizationService,
+    LiveDisseminationServer,
+    LivePBETokenServer,
+    LiveRepositoryServer,
+)
+
+__all__ = [
+    "DeploymentState",
+    "SERVICE_ROLES",
+    "init_state",
+    "load_state",
+    "build_service",
+    "serve_role",
+    "run_clients",
+]
+
+SERVICE_ROLES = (DS_NAME, RS_NAME, PBE_TS_NAME, ANON_NAME)
+
+
+@dataclass
+class DeploymentState:
+    """Everything the ARA provisions at registration time, picklable."""
+
+    host: str
+    ports: dict[str, int]
+    config: P3SConfig
+    ara: RegistrationAuthority
+    identities: dict[str, ServerIdentity]
+    rs_pke: PKEKeyPair
+    pbe_ts_pke: PKEKeyPair
+    registered_clients: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def group(self) -> PairingGroup:
+        return self.ara.group
+
+    def address_book(self) -> AddressBook:
+        book = AddressBook()
+        for name, identity in self.identities.items():
+            book.register(name, self.host, self.ports[name], identity.service_key)
+        return book
+
+    def endpoint(self, name: str, identity: ServerIdentity | None = None) -> LiveRpcEndpoint:
+        return LiveRpcEndpoint(
+            name,
+            self.address_book(),
+            ara_verify_key=self.ara.directory.ara_verify_key,
+            identity=identity,
+        )
+
+
+def init_state(
+    path: str,
+    host: str = "127.0.0.1",
+    base_port: int = 7341,
+    config: P3SConfig | None = None,
+) -> DeploymentState:
+    """Mint a deployment's trust material and write it to ``path``."""
+    config = config or P3SConfig()
+    group = PairingGroup(config.param_set)
+    ara = RegistrationAuthority(group, config.schema)
+    identities = {
+        name: ServerIdentity.issue(ara, group, name) for name in SERVICE_ROLES
+    }
+    rs_pke = PKEKeyPair(group)
+    pbe_ts_pke = PKEKeyPair(group)
+    ara.install_service("ds", DS_NAME)
+    ara.install_service("rs", RS_NAME, rs_pke.public)
+    ara.install_service("pbe_ts", PBE_TS_NAME, pbe_ts_pke.public)
+    ara.install_service("anonymizer", ANON_NAME)
+    state = DeploymentState(
+        host=host,
+        ports={name: base_port + index for index, name in enumerate(SERVICE_ROLES)},
+        config=config,
+        ara=ara,
+        identities=identities,
+        rs_pke=rs_pke,
+        pbe_ts_pke=pbe_ts_pke,
+    )
+    with open(path, "wb") as handle:
+        pickle.dump(state, handle)
+    return state
+
+
+def load_state(path: str) -> DeploymentState:
+    with open(path, "rb") as handle:
+        state = pickle.load(handle)
+    if not isinstance(state, DeploymentState):
+        raise RegistrationError(f"{path} is not a live deployment state bundle")
+    return state
+
+
+def build_service(role: str, state: DeploymentState):
+    """Instantiate one third party from the shared state bundle."""
+    if role == DS_NAME:
+        return LiveDisseminationServer(
+            state.endpoint(DS_NAME, state.identities[DS_NAME]),
+            RS_NAME,
+            metadata_topic=state.config.metadata_topic,
+            group=state.group,
+            match_workers=state.config.match_workers,
+        )
+    if role == RS_NAME:
+        return LiveRepositoryServer(
+            state.endpoint(RS_NAME, state.identities[RS_NAME]),
+            state.group,
+            t_g=state.config.t_g,
+            gc_interval_s=state.config.rs_gc_interval_s,
+            pke=state.rs_pke,
+        )
+    if role == PBE_TS_NAME:
+        master_key, verify_key = state.ara.provision_pbe_ts()
+        issuer = TokenIssuer(
+            HVE(state.group),
+            master_key,
+            state.config.schema,
+            verify_key,
+            subscription_policy=state.config.subscription_policy,
+        )
+        return LivePBETokenServer(
+            state.endpoint(PBE_TS_NAME, state.identities[PBE_TS_NAME]),
+            issuer,
+            state.group,
+            pke=state.pbe_ts_pke,
+        )
+    if role == ANON_NAME:
+        return LiveAnonymizationService(
+            state.endpoint(ANON_NAME, state.identities[ANON_NAME])
+        )
+    raise RegistrationError(f"unknown service role {role!r}; expected one of {SERVICE_ROLES}")
+
+
+async def serve_role(role: str, state: DeploymentState) -> None:
+    """Start one service on its assigned port and serve until cancelled."""
+    service = build_service(role, state)
+    bound_host, bound_port = await service.start(state.host, state.ports[role])
+    print(f"{role}: listening on {bound_host}:{bound_port}", flush=True)
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await service.close()
+
+
+async def run_clients(state: DeploymentState, scenario) -> dict[str, tuple[bytes, ...]]:
+    """Drive a scenario's clients against already-running services."""
+    subscribers: dict[str, LiveSubscriber] = {}
+    publisher: LivePublisher | None = None
+    try:
+        for spec in scenario.subscribers:
+            subscriber = LiveSubscriber(
+                state.ara.register_subscriber(spec.name, set(spec.attributes)),
+                state.endpoint(spec.name),
+                state.group,
+                use_anonymizer=state.config.use_anonymizer,
+                guid_bytes=state.config.guid_bytes,
+                metadata_topic=state.config.metadata_topic,
+                delegate_tokens=state.config.delegated_matching,
+            )
+            await subscriber.connect()
+            for interest in spec.interests:
+                await subscriber.subscribe(interest)
+            subscribers[spec.name] = subscriber
+        publisher = LivePublisher(
+            state.ara.register_publisher(scenario.publisher_name),
+            state.endpoint(scenario.publisher_name),
+            state.group,
+            guid_bytes=state.config.guid_bytes,
+        )
+        await publisher.connect()
+        for publication in scenario.publications:
+            await publisher.publish(
+                publication.metadata_dict,
+                publication.payload,
+                policy=publication.policy,
+                ttl_s=publication.ttl_s,
+            )
+        await asyncio.sleep(1.0)  # no delivery oracle across processes: settle
+        return {
+            name: tuple(sorted(d.payload for d in sub.stats.deliveries))
+            for name, sub in subscribers.items()
+        }
+    finally:
+        if publisher is not None:
+            await publisher.close()
+        for subscriber in subscribers.values():
+            await subscriber.close()

@@ -1,0 +1,194 @@
+"""Substrate-agnostic P3S scenarios, runnable on the simulator or live.
+
+A :class:`Scenario` describes *what happens* — who subscribes to what,
+who publishes what under which policy — with no reference to a substrate.
+:func:`run_on_simulator` executes it inside the discrete-event simulator
+(:class:`repro.core.system.P3SSystem`); :func:`run_on_live` executes it
+over real TCP sockets (:class:`repro.live.deployment.LiveDeployment`).
+Both return the same shape — per-subscriber sorted delivered plaintexts —
+so a test can assert the two substrates deliver identical content
+(GUIDs and ciphertexts are randomized per run; the *plaintext delivery
+sets* are the substrate-independent observable).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from ..core.config import P3SConfig
+from ..core.system import P3SSystem
+from ..pbe.schema import Interest
+from .deployment import LiveDeployment
+
+__all__ = [
+    "SubscriberSpec",
+    "PublicationSpec",
+    "Scenario",
+    "default_scenario",
+    "run_on_simulator",
+    "run_on_live",
+    "run_live",
+]
+
+
+@dataclass(frozen=True)
+class SubscriberSpec:
+    """One subscriber: CP-ABE attributes + the interests it subscribes."""
+
+    name: str
+    attributes: frozenset[str]
+    interests: tuple[Interest, ...]
+
+
+@dataclass(frozen=True)
+class PublicationSpec:
+    """One publication: metadata, plaintext payload, CP-ABE policy."""
+
+    metadata: tuple[tuple[str, str], ...]
+    payload: bytes
+    policy: str
+    ttl_s: float = 3600.0
+
+    @property
+    def metadata_dict(self) -> dict[str, str]:
+        return dict(self.metadata)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A full publish-subscribe episode, independent of substrate."""
+
+    subscribers: tuple[SubscriberSpec, ...]
+    publications: tuple[PublicationSpec, ...]
+    publisher_name: str = "pub"
+
+
+def _metadata(**overrides: str) -> tuple[tuple[str, str], ...]:
+    base = {f"attr{i:02d}": "v00" for i in range(10)}
+    base.update(overrides)
+    return tuple(sorted(base.items()))
+
+
+def default_scenario() -> Scenario:
+    """The demo episode: ARA registration, subscription, publication,
+    matching, retrieval, delivery — with a match, a multi-attribute
+    match, a non-match, and an access-denied case all exercised."""
+    return Scenario(
+        subscribers=(
+            SubscriberSpec(
+                "alice", frozenset({"org:acme"}), (Interest({"attr00": "v01"}),)
+            ),
+            SubscriberSpec(
+                "bobby",
+                frozenset({"org:acme", "role:analyst"}),
+                (Interest({"attr01": "v02", "attr02": "v03"}),),
+            ),
+            SubscriberSpec(
+                "carol", frozenset({"org:other"}), (Interest({"attr00": "v01"}),)
+            ),
+        ),
+        publications=(
+            PublicationSpec(
+                _metadata(attr00="v01"), b"breaking: acme merger", "org:acme"
+            ),
+            PublicationSpec(
+                _metadata(attr01="v02", attr02="v03"),
+                b"quarterly analyst brief",
+                "org:acme and role:analyst",
+            ),
+            PublicationSpec(
+                _metadata(attr00="v09"), b"nobody subscribed to this", "org:acme"
+            ),
+        ),
+    )
+
+
+DeliveryMap = dict[str, tuple[bytes, ...]]
+
+
+def _delivered(subscribers) -> DeliveryMap:
+    return {
+        name: tuple(sorted(d.payload for d in subscriber.stats.deliveries))
+        for name, subscriber in subscribers.items()
+    }
+
+
+def run_on_simulator(scenario: Scenario, config: P3SConfig | None = None) -> DeliveryMap:
+    """Execute ``scenario`` in the discrete-event simulator."""
+    system = P3SSystem(config or P3SConfig())
+    for spec in scenario.subscribers:
+        subscriber = system.add_subscriber(spec.name, attributes=set(spec.attributes))
+        for interest in spec.interests:
+            system.subscribe(subscriber, interest)
+    system.run()
+    publisher = system.add_publisher(scenario.publisher_name)
+    for publication in scenario.publications:
+        publisher.publish(
+            publication.metadata_dict,
+            publication.payload,
+            policy=publication.policy,
+            ttl_s=publication.ttl_s,
+        )
+    system.run()
+    result = _delivered(system.subscribers)
+    system.ds.close_match_pool()
+    return result
+
+
+async def run_on_live(
+    scenario: Scenario,
+    config: P3SConfig | None = None,
+    expected: DeliveryMap | None = None,
+    timeout_s: float = 60.0,
+    settle_s: float = 0.2,
+) -> DeliveryMap:
+    """Execute ``scenario`` over real TCP sockets on localhost.
+
+    ``expected`` (e.g. a prior :func:`run_on_simulator` result) tells the
+    runner how many deliveries to await per subscriber; without it the
+    runner waits ``settle_s`` of quiescence after the last publication —
+    fine for demos, racy for assertions.
+    """
+    deployment = LiveDeployment(config)
+    await deployment.start()
+    try:
+        for spec in scenario.subscribers:
+            subscriber = await deployment.add_subscriber(
+                spec.name, set(spec.attributes)
+            )
+            for interest in spec.interests:
+                await subscriber.subscribe(interest)
+        publisher = await deployment.add_publisher(scenario.publisher_name)
+        for publication in scenario.publications:
+            await publisher.publish(
+                publication.metadata_dict,
+                publication.payload,
+                policy=publication.policy,
+                ttl_s=publication.ttl_s,
+            )
+        if expected is not None:
+            await asyncio.gather(
+                *(
+                    deployment.subscribers[name].wait_for_deliveries(
+                        len(payloads), timeout_s
+                    )
+                    for name, payloads in expected.items()
+                    if payloads
+                )
+            )
+        # let non-matches, counters, and the RS store settle
+        await asyncio.sleep(settle_s)
+        return _delivered(deployment.subscribers)
+    finally:
+        await deployment.close()
+
+
+def run_live(
+    scenario: Scenario,
+    config: P3SConfig | None = None,
+    expected: DeliveryMap | None = None,
+    timeout_s: float = 60.0,
+) -> DeliveryMap:
+    """Synchronous wrapper: run the live scenario in a fresh event loop."""
+    return asyncio.run(run_on_live(scenario, config, expected, timeout_s))

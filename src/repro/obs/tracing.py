@@ -44,10 +44,31 @@ CONTEXT_HEADER = "obs-ctx"
 
 @dataclass(frozen=True)
 class SpanContext:
-    """The propagatable identity of a span: enough to parent a child."""
+    """The propagatable identity of a span: enough to parent a child.
+
+    Inside the simulator the context object itself rides in header
+    dicts; on the live TCP substrate it must survive byte serialization,
+    so :meth:`to_wire`/:meth:`from_wire` give it a JSON-safe form that
+    :mod:`repro.live.wire` embeds in the frame header.
+    """
 
     trace_id: int
     span_id: int
+
+    def to_wire(self) -> list[int]:
+        """JSON-serializable form for the live frame header."""
+        return [self.trace_id, self.span_id]
+
+    @classmethod
+    def from_wire(cls, value: object) -> "SpanContext | None":
+        """Rebuild a context from its wire form; ``None`` if malformed."""
+        if (
+            isinstance(value, (list, tuple))
+            and len(value) == 2
+            and all(isinstance(item, int) for item in value)
+        ):
+            return cls(value[0], value[1])
+        return None
 
 
 @dataclass
@@ -234,10 +255,14 @@ class Tracer:
 
     @staticmethod
     def extract(headers: dict[str, Any] | None) -> SpanContext | None:
+        """Recover a context from headers; accepts both the in-process
+        object form and the live substrate's decoded wire form."""
         if not headers:
             return None
         context = headers.get(CONTEXT_HEADER)
-        return context if isinstance(context, SpanContext) else None
+        if isinstance(context, SpanContext):
+            return context
+        return SpanContext.from_wire(context)
 
 
 class _ScopedSpan:

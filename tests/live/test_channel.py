@@ -1,0 +1,210 @@
+"""Secure channel: handshake, AEAD records, loss and tamper detection."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.core.ara import RegistrationAuthority
+from repro.errors import HandshakeError, MessageLossError, TransportError
+from repro.live.channel import (
+    SecureChannel,
+    ServerIdentity,
+    ServiceKey,
+    accept_channel,
+    connect_channel,
+)
+from repro.pbe.schema import AttributeSpec, MetadataSchema
+
+from .conftest import run_async
+
+pytestmark = pytest.mark.live
+
+SCHEMA = MetadataSchema([AttributeSpec("topic", ("a", "b"))])
+
+
+@pytest.fixture(scope="module")
+def ara(group):
+    return RegistrationAuthority(group, SCHEMA)
+
+
+@pytest.fixture()
+def identity(ara, group):
+    return ServerIdentity.issue(ara, group, "svc")
+
+
+async def accept_one(identity):
+    """Listen on an ephemeral port, accept + handshake one connection."""
+    loop = asyncio.get_running_loop()
+    accepted: asyncio.Future = loop.create_future()
+
+    async def on_connection(reader, writer):
+        try:
+            channel = await accept_channel(reader, writer, identity, timeout=10.0)
+            if not accepted.done():
+                accepted.set_result(channel)
+        except Exception as exc:  # surfaced to the test, not swallowed
+            if not accepted.done():
+                accepted.set_exception(exc)
+
+    server = await asyncio.start_server(on_connection, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    return server, port, accepted
+
+
+class TestHandshake:
+    def test_echo_and_bidirectional_records(self, ara, identity):
+        async def scenario():
+            server, port, accepted = await accept_one(identity)
+            client = await connect_channel(
+                "127.0.0.1", port, identity.service_key,
+                ara.directory.ara_verify_key, "alice",
+            )
+            peer = await accepted
+            assert client.peer_name == "svc"
+            assert peer.peer_name == "alice"
+            await client.send_record(b"ping")
+            assert await peer.recv_record() == b"ping"
+            await peer.send_record(b"pong")
+            assert await client.recv_record() == b"pong"
+            await client.close()
+            await peer.close()
+            server.close()
+            await server.wait_closed()
+
+        run_async(scenario())
+
+    def test_forged_service_key_rejected(self, group, ara, identity):
+        # a key binding signed by a DIFFERENT trust root must not verify
+        other_ara = RegistrationAuthority(group, SCHEMA)
+        forged = ServiceKey(
+            identity.name,
+            identity.keypair.public,
+            other_ara.sign_service_key(identity.name, identity.keypair.public.to_bytes()),
+        )
+
+        async def scenario():
+            with pytest.raises(HandshakeError):
+                await connect_channel(
+                    "127.0.0.1", 1, forged, ara.directory.ara_verify_key, "alice"
+                )
+
+        run_async(scenario())
+
+    def test_server_without_matching_key_fails_echo(self, group, ara, identity):
+        # directory lies about the server's key: the pre-master is sealed to
+        # a key the server does not hold, so it can never produce the echo
+        imposter_key = ServiceKey(
+            "svc", ServerIdentity.issue(ara, group, "svc2").keypair.public,
+            identity.signature,
+        )
+
+        async def scenario():
+            server, port, accepted = await accept_one(identity)
+            with pytest.raises(HandshakeError):
+                await connect_channel(
+                    "127.0.0.1", port, imposter_key, None, "alice", timeout=5.0
+                )
+            with pytest.raises(HandshakeError):
+                await accepted
+            server.close()
+            await server.wait_closed()
+
+        run_async(scenario())
+
+    def test_connect_to_dead_port_raises_transport_error(self, ara, identity):
+        async def scenario():
+            # bind-then-close guarantees a port with no listener
+            server = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            with pytest.raises(TransportError):
+                await connect_channel(
+                    "127.0.0.1", port, identity.service_key,
+                    ara.directory.ara_verify_key, "alice", timeout=2.0,
+                )
+
+        run_async(scenario())
+
+
+async def connected_pair(ara, identity) -> tuple[SecureChannel, SecureChannel]:
+    server, port, accepted = await accept_one(identity)
+    client = await connect_channel(
+        "127.0.0.1", port, identity.service_key,
+        ara.directory.ara_verify_key, "alice",
+    )
+    peer = await accepted
+    server.close()
+    await server.wait_closed()
+    return client, peer
+
+
+def _raw_record(channel: SecureChannel, seq: int, plaintext: bytes) -> bytes:
+    """Frame one record exactly as send_record would, for a chosen seq."""
+    sealed = channel._send_box.seal(plaintext, associated_data=struct.pack(">Q", seq))
+    return struct.pack(">IQ", len(sealed) + 8, seq) + sealed
+
+
+class TestRecordProtection:
+    def test_tampered_record_fails_authentication(self, ara, identity):
+        async def scenario():
+            client, peer = await connected_pair(ara, identity)
+            wire = bytearray(_raw_record(client, seq=0, plaintext=b"secret"))
+            wire[-1] ^= 0x01  # flip one ciphertext bit
+            client._writer.write(bytes(wire))
+            await client._writer.drain()
+            with pytest.raises(TransportError) as excinfo:
+                await peer.recv_record()
+            assert not isinstance(excinfo.value, MessageLossError)
+            await client.close()
+
+        run_async(scenario())
+
+    def test_sequence_gap_raises_message_loss(self, ara, identity):
+        async def scenario():
+            client, peer = await connected_pair(ara, identity)
+            # skip seq 0: a dropped record, not a forged one
+            client._writer.write(_raw_record(client, seq=1, plaintext=b"late"))
+            await client._writer.drain()
+            with pytest.raises(MessageLossError):
+                await peer.recv_record()
+            await client.close()
+
+        run_async(scenario())
+
+    def test_replayed_record_rejected(self, ara, identity):
+        async def scenario():
+            client, peer = await connected_pair(ara, identity)
+            replay = _raw_record(client, seq=0, plaintext=b"once")
+            client._writer.write(replay + replay)
+            await client._writer.drain()
+            assert await peer.recv_record() == b"once"
+            with pytest.raises(MessageLossError):  # same seq again = gap rule
+                await peer.recv_record()
+            await client.close()
+
+        run_async(scenario())
+
+    def test_peer_disconnect_raises_transport_error(self, ara, identity):
+        async def scenario():
+            client, peer = await connected_pair(ara, identity)
+            await client.close()
+            with pytest.raises(TransportError):
+                await peer.recv_record()
+            with pytest.raises(TransportError):
+                await peer.recv_record()  # closed channels stay closed
+
+        run_async(scenario())
+
+    def test_send_after_close_raises(self, ara, identity):
+        async def scenario():
+            client, peer = await connected_pair(ara, identity)
+            await client.close()
+            with pytest.raises(TransportError):
+                await client.send_record(b"too late")
+            await peer.close()
+
+        run_async(scenario())

@@ -1,0 +1,221 @@
+"""LiveRpcEndpoint: request/response, one-way, push, reconnect, shutdown."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.ara import RegistrationAuthority
+from repro.errors import TransportError
+from repro.live.channel import ServerIdentity
+from repro.live.rpc import AddressBook, LiveRpcEndpoint
+from repro.pbe.schema import AttributeSpec, MetadataSchema
+
+from .conftest import run_async
+
+pytestmark = pytest.mark.live
+
+SCHEMA = MetadataSchema([AttributeSpec("topic", ("a", "b"))])
+
+
+@pytest.fixture(scope="module")
+def ara(group):
+    return RegistrationAuthority(group, SCHEMA)
+
+
+async def server_endpoint(ara, group, name="svc", **kwargs) -> LiveRpcEndpoint:
+    endpoint = LiveRpcEndpoint(
+        name,
+        AddressBook(),
+        ara_verify_key=ara.directory.ara_verify_key,
+        identity=ServerIdentity.issue(ara, group, name),
+        **kwargs,
+    )
+    return endpoint
+
+
+def client_endpoint(ara, server: LiveRpcEndpoint, bound, name="cli", **kwargs):
+    book = AddressBook()
+    book.register(server.name, bound[0], bound[1], server.identity.service_key)
+    return LiveRpcEndpoint(
+        name, book, ara_verify_key=ara.directory.ara_verify_key, **kwargs
+    )
+
+
+class TestRequestResponse:
+    def test_call_returns_handler_payload(self, ara, group):
+        async def scenario():
+            server = await server_endpoint(ara, group)
+            server.serve("echo", lambda src, msg: (b"echo:" + msg.payload, 1))
+            bound = await server.start_server()
+            client = client_endpoint(ara, server, bound)
+            try:
+                assert await client.call("svc", "echo", b"hi") == b"echo:hi"
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(scenario())
+
+    def test_async_handler_and_concurrent_calls(self, ara, group):
+        async def scenario():
+            server = await server_endpoint(ara, group)
+
+            async def slow_echo(src, msg):
+                await asyncio.sleep(0.05)
+                return (msg.payload * 2, 1)
+
+            server.serve("echo", slow_echo)
+            bound = await server.start_server()
+            client = client_endpoint(ara, server, bound)
+            try:
+                results = await asyncio.gather(
+                    *(client.call("svc", "echo", bytes([i])) for i in range(5))
+                )
+                assert results == [bytes([i]) * 2 for i in range(5)]
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(scenario())
+
+    def test_call_timeout_raises_transport_error(self, ara, group):
+        async def scenario():
+            server = await server_endpoint(ara, group)
+
+            async def never(src, msg):
+                await asyncio.Event().wait()
+
+            server.serve("stall", never)
+            bound = await server.start_server()
+            client = client_endpoint(ara, server, bound)
+            try:
+                with pytest.raises(TransportError, match="timed out"):
+                    await client.call("svc", "stall", b"x", timeout_s=0.2)
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(scenario())
+
+
+class TestOneWayAndPush:
+    def test_cast_and_server_push_over_client_connection(self, ara, group):
+        async def scenario():
+            server = await server_endpoint(ara, group)
+            received = asyncio.get_running_loop().create_future()
+
+            async def on_note(src, msg):
+                # push back over the connection the client opened
+                await server.cast(src, "note.reply", b"pushed:" + msg.payload)
+
+            server.serve("note", on_note)
+            bound = await server.start_server()
+            client = client_endpoint(ara, server, bound)
+            client.serve("note.reply", lambda src, msg: received.set_result(
+                (src, msg.payload)
+            ))
+            try:
+                await client.cast("svc", "note", b"ping")
+                src, payload = await asyncio.wait_for(received, 10.0)
+                assert src == "svc"
+                assert payload == b"pushed:ping"
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(scenario())
+
+    def test_frame_src_is_the_authenticated_peer(self, ara, group):
+        async def scenario():
+            server = await server_endpoint(ara, group)
+            seen = asyncio.get_running_loop().create_future()
+            server.serve("who", lambda src, msg: seen.set_result((src, msg.src)))
+            bound = await server.start_server()
+            client = client_endpoint(ara, server, bound, name="mallory-claims-alice")
+            try:
+                await client.cast("svc", "who", b"")
+                handler_src, frame_src = await asyncio.wait_for(seen, 10.0)
+                # both reflect the handshake identity, not frame contents
+                assert handler_src == "mallory-claims-alice"
+                assert frame_src == "mallory-claims-alice"
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(scenario())
+
+
+class TestReconnectAndShutdown:
+    def test_unreachable_peer_backs_off_then_raises(self, ara, group):
+        async def scenario():
+            server = await server_endpoint(ara, group)
+            bound = await server.start_server()
+            client = client_endpoint(
+                ara, server, bound,
+                reconnect_attempts=3, backoff_base_s=0.05, backoff_cap_s=0.2,
+                connect_timeout_s=1.0,
+            )
+            await server.close()  # nothing listening any more
+            started = time.monotonic()
+            with pytest.raises(TransportError, match="could not reach"):
+                await client.call("svc", "echo", b"x")
+            elapsed = time.monotonic() - started
+            # attempts 2 and 3 sleep 0.05 + 0.1 before giving up
+            assert elapsed >= 0.15
+            await client.close()
+
+        run_async(scenario())
+
+    def test_reconnects_after_connection_drop(self, ara, group):
+        async def scenario():
+            server = await server_endpoint(ara, group)
+            server.serve("echo", lambda src, msg: (msg.payload, 1))
+            bound = await server.start_server()
+            client = client_endpoint(ara, server, bound, backoff_base_s=0.01)
+            try:
+                assert await client.call("svc", "echo", b"one") == b"one"
+                # sever the established channel from the server side
+                for channel in list(server._channels.values()):
+                    await channel.close()
+                await asyncio.sleep(0.05)
+                # next call dials a fresh connection transparently
+                assert await client.call("svc", "echo", b"two") == b"two"
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(scenario())
+
+    def test_close_fails_pending_calls(self, ara, group):
+        async def scenario():
+            server = await server_endpoint(ara, group)
+
+            async def never(src, msg):
+                await asyncio.Event().wait()
+
+            server.serve("stall", never)
+            bound = await server.start_server()
+            client = client_endpoint(ara, server, bound)
+            task = asyncio.ensure_future(client.call("svc", "stall", b"x"))
+            await asyncio.sleep(0.2)  # let the request reach the server
+            await client.close()
+            with pytest.raises(TransportError):
+                await task
+            await server.close()
+
+        run_async(scenario())
+
+    def test_send_after_close_raises(self, ara, group):
+        async def scenario():
+            server = await server_endpoint(ara, group)
+            bound = await server.start_server()
+            client = client_endpoint(ara, server, bound)
+            await client.close()
+            with pytest.raises(TransportError, match="closed"):
+                await client.cast("svc", "anything", b"")
+            await server.close()
+
+        run_async(scenario())

@@ -161,3 +161,88 @@ class TestDisabledMode:
             assert second.metrics.counter_total("op.pairing") == 1
         finally:
             profile.deactivate()
+
+
+@pytest.mark.live
+class TestLiveSpanPropagation:
+    """The same publish trace, reassembled across real TCP sockets.
+
+    Span context rides in the live wire-frame headers, so every hop —
+    publisher → DS fan-out → subscriber match → RS retrieve → delivery —
+    must land in ONE trace even though each leg crossed a socket.
+    """
+
+    def _run_live(self, obs):
+        import asyncio
+
+        from repro.core.config import P3SConfig
+        from repro.live.deployment import LiveDeployment
+
+        async def scenario():
+            deployment = LiveDeployment(P3SConfig(schema=SCHEMA, obs=obs))
+            await deployment.start()
+            try:
+                alice = await deployment.add_subscriber("alice", {"org"})
+                await alice.subscribe(Interest({"topic": "a"}))
+                publisher = await deployment.add_publisher("pub")
+                record = await publisher.publish(
+                    {"topic": "a"}, b"traced", policy="org"
+                )
+                await alice.wait_for_deliveries(1, timeout_s=60.0)
+                return record
+            finally:
+                await deployment.close()
+
+        return asyncio.run(asyncio.wait_for(scenario(), 120.0))
+
+    def test_publish_trace_spans_every_networked_hop(self):
+        obs = Observability()
+        try:
+            record = self._run_live(obs)
+            (root,) = [s for s in obs.tracer.roots() if s.name == "publish"]
+            assert root.component == "pub"
+            assert root.attributes["publication_id"] == record.publication_id
+            tree = [span for span, _ in obs.tracer.walk(root)]
+            names = [span.name for span in tree]
+            for hop in (
+                "pbe.encrypt",
+                "abe.encrypt",
+                "ds.fan_out",
+                "ds.forward_rs",
+                "rs.store",
+                "subscriber.match",
+                "subscriber.retrieve",
+                "rs.retrieve",
+                "abe.decrypt",
+                "deliver",
+            ):
+                assert names.count(hop) == 1, hop
+            # one trace id across publisher, DS, RS, and subscriber spans,
+            # despite every parent/child edge crossing a socket boundary
+            assert {span.trace_id for span in tree} == {root.trace_id}
+            components = {span.component for span in tree}
+            assert {"pub", "ds", "rs", "alice"} <= components
+        finally:
+            obs.uninstall()
+
+    def test_cross_socket_parentage(self):
+        obs = Observability()
+        try:
+            self._run_live(obs)
+            (fan_out,) = obs.tracer.find("ds.fan_out")
+            (match,) = obs.tracer.find("subscriber.match")
+            (retrieve,) = obs.tracer.find("subscriber.retrieve")
+            (rs_retrieve,) = obs.tracer.find("rs.retrieve")
+            # DS→subscriber edge restored from wire headers
+            assert match.parent_id == fan_out.span_id
+            # subscriber→RS request edge restored from RPC headers,
+            # with the anonymizer hop interposed exactly as in the simulator
+            assert retrieve.parent_id == match.span_id
+            anon_hops = [
+                s for s in obs.tracer.find("anon.forward")
+                if s.span_id == rs_retrieve.parent_id
+            ]
+            assert len(anon_hops) == 1
+            assert anon_hops[0].parent_id == retrieve.span_id
+        finally:
+            obs.uninstall()
