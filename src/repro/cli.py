@@ -13,6 +13,8 @@
     python -m repro live init --state p3s.state   # provision a multi-process deployment
     python -m repro live serve-ds --state p3s.state   # one service per process
     python -m repro live run --state p3s.state        # drive clients against them
+    python -m repro live status --state p3s.state     # health + op totals (or in-process demo)
+    python -m repro live top --state p3s.state        # refreshing per-service throughput view
 """
 
 from __future__ import annotations
@@ -233,6 +235,244 @@ def _cmd_live_run(args) -> None:
         print(f"{name}: {payloads}")
 
 
+def _demo_metadata(**overrides: str) -> dict[str, str]:
+    base = {f"attr{i:02d}": "v00" for i in range(10)}
+    base.update(overrides)
+    return base
+
+
+async def _scrape_deployment_state(state, services):
+    """One telemetry sweep against an already-running multi-process deployment."""
+    from .live.telemetry import TelemetryClient
+
+    client = TelemetryClient(state.endpoint("telemetry"), services)
+    try:
+        return await client.scrape()
+    finally:
+        await client.close()
+
+
+async def _scrape_demo_deployment(config, scenario, expected):
+    """Stand up an in-process deployment, run ``scenario``, scrape, tear down."""
+    import asyncio
+
+    from .live.deployment import LiveDeployment
+
+    deployment = LiveDeployment(config)
+    await deployment.start()
+    try:
+        for spec in scenario.subscribers:
+            subscriber = await deployment.add_subscriber(spec.name, set(spec.attributes))
+            for interest in spec.interests:
+                await subscriber.subscribe(interest)
+        publisher = await deployment.add_publisher(scenario.publisher_name)
+        for publication in scenario.publications:
+            await publisher.publish(
+                publication.metadata_dict,
+                publication.payload,
+                policy=publication.policy,
+                ttl_s=publication.ttl_s,
+            )
+        await asyncio.gather(
+            *(
+                deployment.subscribers[name].wait_for_deliveries(len(payloads), 60.0)
+                for name, payloads in expected.items()
+                if payloads
+            )
+        )
+        await asyncio.sleep(0.2)  # let acks, stores, and span ends settle
+        return await deployment.scrape()
+    finally:
+        await deployment.close()
+
+
+def _print_status(aggregator) -> None:
+    latency = aggregator.latency_summary()
+    print(format_table(
+        ["service", "alive", "ready", "failing checks"],
+        aggregator.health_rows(),
+        title="live deployment health",
+    ))
+    ops = aggregator.op_table()
+    if ops.strip():
+        print()
+        print("operation counts by service:")
+        print(ops)
+    print()
+    if latency["count"]:
+        print(
+            f"publish→deliver latency over {latency['count']} deliveries: "
+            f"p50 {latency['p50_s'] * 1000:.1f} ms, p95 {latency['p95_s'] * 1000:.1f} ms, "
+            f"max {latency['max_s'] * 1000:.1f} ms"
+        )
+    print(
+        f"spans aggregated: {len(aggregator.spans())}, "
+        f"dropped by flight recorders: {aggregator.total_dropped_spans}"
+    )
+
+
+def _cmd_live_status(args) -> None:
+    import asyncio
+    import json
+
+    if args.state:
+        from .live.runner import SERVICE_ROLES, load_state
+
+        aggregator = asyncio.run(
+            _scrape_deployment_state(load_state(args.state), SERVICE_ROLES)
+        )
+    else:
+        # no running deployment to poll: stand one up in-process, run the
+        # demo scenario through it, and report on that
+        from .core.config import P3SConfig
+        from .live.scenario import default_scenario, run_on_simulator
+        from .obs import Observability
+        from .obs.ring import DEFAULT_FLIGHT_RECORDER_CAPACITY
+
+        scenario = default_scenario()
+        expected = run_on_simulator(scenario, P3SConfig())
+        obs = Observability(span_capacity=DEFAULT_FLIGHT_RECORDER_CAPACITY)
+        config = P3SConfig(obs=obs)
+        try:
+            aggregator = asyncio.run(_scrape_demo_deployment(config, scenario, expected))
+        finally:
+            obs.uninstall()
+    if args.metrics_out:
+        from .live.telemetry import GAUGE_METRICS
+        from .obs import to_openmetrics
+
+        with open(args.metrics_out, "w") as handle:
+            handle.write(
+                to_openmetrics(aggregator.merged_registry(), gauge_names=GAUGE_METRICS)
+            )
+    if args.json:
+        print(json.dumps(aggregator.to_json(), indent=2, default=str))
+    else:
+        _print_status(aggregator)
+    if not aggregator.all_ready:
+        raise SystemExit(1)
+
+
+async def _live_top(args) -> None:
+    import asyncio
+    import contextlib
+    import time as wall
+
+    from .live.telemetry import TelemetryClient
+    from .obs.aggregate import TelemetryAggregator
+
+    deployment = None
+    driver: asyncio.Task | None = None
+    stop = asyncio.Event()
+    if args.state:
+        from .live.runner import SERVICE_ROLES, load_state
+
+        services = list(SERVICE_ROLES)
+        client = TelemetryClient(load_state(args.state).endpoint("top"), services)
+    else:
+        # self-driving mode: in-process deployment plus a background
+        # publisher so the view has live traffic to show
+        from .core.config import P3SConfig
+        from .live.deployment import SERVICE_NAMES, LiveDeployment
+        from .obs import Observability
+        from .obs.ring import DEFAULT_FLIGHT_RECORDER_CAPACITY
+        from .pbe.schema import Interest
+
+        obs = Observability(span_capacity=DEFAULT_FLIGHT_RECORDER_CAPACITY)
+        deployment = LiveDeployment(P3SConfig(obs=obs))
+        await deployment.start()
+        subscriber = await deployment.add_subscriber("alice", {"org:acme"})
+        await subscriber.subscribe(Interest({"attr00": "v01"}))
+        publisher = await deployment.add_publisher("pub")
+
+        async def _drive() -> None:
+            tick = 0
+            while not stop.is_set():
+                await publisher.publish(
+                    _demo_metadata(attr00="v01"),
+                    f"tick {tick}".encode(),
+                    policy="org:acme",
+                )
+                tick += 1
+                await asyncio.sleep(0.05)
+
+        driver = asyncio.ensure_future(_drive())
+        services = list(SERVICE_NAMES)
+        client = deployment.telemetry_client("top")
+
+    aggregator = TelemetryAggregator(latency_window=args.window)
+    previous: dict[str, float] = {}
+    previous_at: float | None = None
+    try:
+        for iteration in range(args.iterations):
+            if iteration:
+                await asyncio.sleep(args.interval)
+            await client.scrape(aggregator)
+            now = wall.monotonic()
+            elapsed = (now - previous_at) if previous_at is not None else None
+            rows = []
+            for service in services:
+                health = aggregator.health(service)
+                frames = aggregator.service_counter_total(service, "live.net.rx_frames")
+                rate = (
+                    (frames - previous.get(service, 0.0)) / elapsed
+                    if elapsed
+                    else 0.0
+                )
+                previous[service] = frames
+                rows.append([
+                    service,
+                    "yes" if health.get("ready") else "NO",
+                    f"{rate:7.1f}",
+                    f"{aggregator.service_counter_total(service, 'live.rpc.open_connections'):.0f}",
+                    f"{aggregator.service_counter_total(service, 'live.rpc.in_flight_calls'):.0f}",
+                    f"{aggregator.service_counter_total(service, 'live.rpc.pending_high_water'):.0f}",
+                    f"{aggregator.service_counter_total(service, 'live.rpc.reconnects'):.0f}",
+                    format_size(aggregator.service_counter_total(service, "live.net.tx_bytes")),
+                    format_size(aggregator.service_counter_total(service, "live.net.rx_bytes")),
+                ])
+            previous_at = now
+            latency = aggregator.latency_summary()
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(format_table(
+                ["service", "ready", "rx fr/s", "conns", "inflight", "pend hw",
+                 "reconn", "tx", "rx"],
+                rows,
+                title=f"repro live top — sweep {iteration + 1}/{args.iterations}",
+            ))
+            if latency["count"]:
+                print(
+                    f"publish→deliver: p50 {latency['p50_s'] * 1000:.1f} ms, "
+                    f"p95 {latency['p95_s'] * 1000:.1f} ms over {latency['count']} "
+                    f"deliveries (window {args.window})"
+                )
+            print(
+                f"spans: {len(aggregator.spans())} aggregated, "
+                f"{aggregator.total_dropped_spans} dropped"
+            )
+    finally:
+        stop.set()
+        if driver is not None:
+            driver.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await driver
+        await client.close()
+        if deployment is not None:
+            await deployment.close()
+            if deployment.obs is not None:
+                deployment.obs.uninstall()
+
+
+def _cmd_live_top(args) -> None:
+    import asyncio
+
+    try:
+        asyncio.run(_live_top(args))
+    except KeyboardInterrupt:
+        pass
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="P3S reproduction — experiment runner"
@@ -303,6 +543,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     live_run.add_argument("--state", required=True, metavar="FILE")
     live_run.set_defaults(func=_cmd_live_run)
+
+    live_status = live_sub.add_parser(
+        "status", help="one-shot deployment health + aggregated op totals"
+    )
+    live_status.add_argument(
+        "--state", metavar="FILE", default=None,
+        help="poll a running multi-process deployment; omit to stand up an "
+             "in-process demo deployment and report on it",
+    )
+    live_status.add_argument(
+        "--json", action="store_true", help="emit the full aggregate as JSON"
+    )
+    live_status.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the merged registry as OpenMetrics text to PATH",
+    )
+    live_status.set_defaults(func=_cmd_live_status)
+
+    live_top = live_sub.add_parser(
+        "top", help="refreshing per-service throughput / queue / latency view"
+    )
+    live_top.add_argument(
+        "--state", metavar="FILE", default=None,
+        help="poll a running multi-process deployment; omit for a "
+             "self-driving in-process deployment",
+    )
+    live_top.add_argument("--interval", type=float, default=1.0, metavar="SECONDS")
+    live_top.add_argument("--iterations", type=int, default=5, metavar="N")
+    live_top.add_argument(
+        "--window", type=int, default=256,
+        help="rolling publish→deliver latency window (deliveries)",
+    )
+    live_top.add_argument(
+        "--no-clear", action="store_true",
+        help="append sweeps instead of clearing the screen (for logs/CI)",
+    )
+    live_top.set_defaults(func=_cmd_live_top)
     return parser
 
 
@@ -310,3 +587,9 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     args.func(args)
     return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -8,7 +8,11 @@ authenticated-encryption channel with an ARA-anchored handshake
 simulator endpoint's API (:mod:`repro.live.rpc`), the four third parties
 as services (:mod:`repro.live.services`), publisher/subscriber clients
 (:mod:`repro.live.clients`), and deployment/scenario orchestration
-(:mod:`repro.live.deployment`, :mod:`repro.live.scenario`).
+(:mod:`repro.live.deployment`, :mod:`repro.live.scenario`).  Every
+service also answers the operational telemetry RPCs — health, metrics
+(JSON or OpenMetrics text), and a flight-recorder span drain — defined
+in :mod:`repro.live.telemetry` and aggregated deployment-wide by
+``repro live status`` / ``repro live top``.
 
 Protocol logic is shared with the simulator via the substrate-free
 engines in :mod:`repro.core` — both substrates deliver identical
@@ -34,6 +38,7 @@ from .services import (
     LivePBETokenServer,
     LiveRepositoryServer,
 )
+from .telemetry import TelemetryClient, install_telemetry
 from .wire import decode_frame, decode_payload, encode_frame, encode_payload
 
 __all__ = [
@@ -58,6 +63,8 @@ __all__ = [
     "run_on_simulator",
     "run_on_live",
     "run_live",
+    "TelemetryClient",
+    "install_telemetry",
     "encode_frame",
     "decode_frame",
     "encode_payload",

@@ -118,13 +118,19 @@ class SecureChannel:
         self._closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.records_sent = 0
+        self.records_received = 0
 
     @property
     def closed(self) -> bool:
         return self._closed
 
-    async def send_record(self, record: bytes) -> None:
-        """Seal and transmit one record; sequence number rides in the AAD."""
+    async def send_record(self, record: bytes) -> int:
+        """Seal and transmit one record; sequence number rides in the AAD.
+
+        Returns the wire length (length prefix + sequence + AEAD seal) so
+        callers can account real transmitted bytes per peer.
+        """
         if self._closed:
             raise TransportError(f"channel {self.local_name}→{self.peer_name} is closed")
         async with self._send_lock:
@@ -141,6 +147,8 @@ class SecureChannel:
                     f"send to {self.peer_name} failed: {exc}"
                 ) from exc
             self.bytes_sent += len(wire)
+            self.records_sent += 1
+            return len(wire)
 
     async def recv_record(self) -> bytes:
         """Receive, authenticate, and sequence-check one record."""
@@ -167,6 +175,7 @@ class SecureChannel:
                 f"expected seq {expected}, got {seq}"
             )
         self._recv_seq += 1
+        self.records_received += 1
         try:
             return self._recv_box.open(body[8:], associated_data=_seq_bytes(seq))
         except DecryptionError as exc:

@@ -40,13 +40,15 @@ from .services import (
     LivePBETokenServer,
     LiveRepositoryServer,
 )
+from .telemetry import TelemetryClient
 
-__all__ = ["LiveDeployment"]
+__all__ = ["LiveDeployment", "SERVICE_NAMES"]
 
 DS_NAME = "ds"
 RS_NAME = "rs"
 PBE_TS_NAME = "pbe-ts"
 ANON_NAME = "anon"
+SERVICE_NAMES = (DS_NAME, RS_NAME, PBE_TS_NAME, ANON_NAME)
 
 
 class LiveDeployment:
@@ -172,6 +174,26 @@ class LiveDeployment:
         await subscriber.connect()
         self.subscribers[name] = subscriber
         return subscriber
+
+    # -- telemetry --------------------------------------------------------------
+
+    def telemetry_client(self, name: str = "telemetry") -> TelemetryClient:
+        """A poller over every third party's admin RPCs (health, metrics,
+        spans) — the engine under ``repro live status`` and ``live top``."""
+        return TelemetryClient(self._client_endpoint(name), SERVICE_NAMES)
+
+    async def scrape(self, aggregator=None):
+        """One-shot telemetry sweep of all four services.
+
+        Opens a short-lived client endpoint, polls, and closes it; pass an
+        existing :class:`~repro.obs.aggregate.TelemetryAggregator` to keep
+        state across sweeps (``live top`` does, for rates).
+        """
+        client = self.telemetry_client()
+        try:
+            return await client.scrape(aggregator)
+        finally:
+            await client.close()
 
     # -- shutdown ---------------------------------------------------------------
 

@@ -21,13 +21,21 @@ Connection management:
   dials have their own;
 * **graceful shutdown** — :meth:`close` stops the listener, closes every
   channel, cancels reader tasks, and fails pending calls instead of
-  leaving them hanging.
+  leaving them hanging;
+* **gauges** — every endpoint keeps always-on transport accounting for
+  the telemetry plane (:meth:`stats`): open connections, in-flight
+  calls, the pending-call high-water mark, dial/reconnect counters, and
+  per-peer tx/rx byte and frame totals measured at the AEAD record
+  layer (seal overhead included).  A peer currently stuck in a dial
+  backoff loop flips :attr:`dial_backoff_active`, which health-readiness
+  reports as not-ready.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -111,10 +119,53 @@ class LiveRpcEndpoint:
         self._closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        # telemetry gauges/counters — plain attribute bumps, always on
+        self.tx_bytes: dict[str, int] = defaultdict(int)
+        self.rx_bytes: dict[str, int] = defaultdict(int)
+        self.tx_frames: dict[str, int] = defaultdict(int)
+        self.rx_frames: dict[str, int] = defaultdict(int)
+        self.dials = 0
+        self.reconnects = 0
+        self.pending_high_water = 0
+        self._backoff_peers: set[str] = set()
 
     @property
     def name(self) -> str:
         return self._name
+
+    # -- telemetry gauges --------------------------------------------------------
+
+    @property
+    def open_connections(self) -> int:
+        """Live channels currently usable (dialed or accepted)."""
+        return sum(1 for channel in self._channels.values() if not channel.closed)
+
+    @property
+    def in_flight_calls(self) -> int:
+        """Requests sent and still awaiting their response."""
+        return len(self._pending)
+
+    @property
+    def dial_backoff_active(self) -> bool:
+        """True while any peer is inside the dial-retry backoff loop."""
+        return bool(self._backoff_peers)
+
+    def stats(self) -> dict[str, Any]:
+        """Point-in-time transport accounting for the telemetry plane."""
+        return {
+            "open_connections": self.open_connections,
+            "in_flight_calls": self.in_flight_calls,
+            "pending_high_water": self.pending_high_water,
+            "dials": self.dials,
+            "reconnects": self.reconnects,
+            "dial_backoff_active": self.dial_backoff_active,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "tx_bytes": dict(self.tx_bytes),
+            "rx_bytes": dict(self.rx_bytes),
+            "tx_frames": dict(self.tx_frames),
+            "rx_frames": dict(self.rx_frames),
+        }
 
     # -- server side -----------------------------------------------------------
 
@@ -172,28 +223,39 @@ class LiveRpcEndpoint:
             return await self._dial(dst)
 
     async def _dial(self, dst: str) -> SecureChannel:
-        """Connect to ``dst`` with bounded exponential backoff."""
+        """Connect to ``dst`` with bounded exponential backoff.
+
+        While retrying, ``dst`` sits in the backoff set — health
+        readiness reports the endpoint not-ready for the duration, so an
+        operator sees a flapping upstream instead of silent retries.
+        """
         entry = self.addresses.resolve(dst)
         last_error: Exception | None = None
-        for attempt in range(self.reconnect_attempts):
-            if attempt:
-                delay = min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1)))
-                await asyncio.sleep(delay)
-            try:
-                channel = await connect_channel(
-                    entry.host,
-                    entry.port,
-                    entry.service_key,
-                    self.ara_verify_key,
-                    self._name,
-                    timeout=self.connect_timeout_s,
-                )
-                self._adopt(dst, channel)
-                obs.record_op("live.dial")
-                return channel
-            except TransportError as exc:
-                last_error = exc
-                obs.record_op("live.dial_retry")
+        try:
+            for attempt in range(self.reconnect_attempts):
+                if attempt:
+                    self._backoff_peers.add(dst)
+                    self.reconnects += 1
+                    delay = min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1)))
+                    await asyncio.sleep(delay)
+                try:
+                    channel = await connect_channel(
+                        entry.host,
+                        entry.port,
+                        entry.service_key,
+                        self.ara_verify_key,
+                        self._name,
+                        timeout=self.connect_timeout_s,
+                    )
+                    self._adopt(dst, channel)
+                    self.dials += 1
+                    obs.record_op("live.dial")
+                    return channel
+                except TransportError as exc:
+                    last_error = exc
+                    obs.record_op("live.dial_retry")
+        finally:
+            self._backoff_peers.discard(dst)
         raise TransportError(
             f"{self._name}: could not reach {dst} after "
             f"{self.reconnect_attempts} attempts: {last_error}"
@@ -218,6 +280,7 @@ class LiveRpcEndpoint:
         correlation = next(self._correlation)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[correlation] = future
+        self.pending_high_water = max(self.pending_high_water, len(self._pending))
         frame_headers = {
             **(headers or {}),
             "rpc": "request",
@@ -256,8 +319,10 @@ class LiveRpcEndpoint:
         record = encode_frame(
             TransportMessage(msg_type=msg_type, payload=payload, src=self._name, headers=headers)
         )
-        await channel.send_record(record)
+        wire_len = await channel.send_record(record)
         self.bytes_sent += len(record)
+        self.tx_bytes[dst] += wire_len
+        self.tx_frames[dst] += 1
         obs.observe("net.live.bytes", len(record), direction="sent", endpoint=self._name)
 
     # -- dispatch ----------------------------------------------------------------
@@ -265,8 +330,11 @@ class LiveRpcEndpoint:
     async def _reader_loop(self, peer: str, channel: SecureChannel) -> None:
         try:
             while True:
+                wire_before = channel.bytes_received
                 record = await channel.recv_record()
                 self.bytes_received += len(record)
+                self.rx_bytes[peer] += channel.bytes_received - wire_before
+                self.rx_frames[peer] += 1
                 obs.observe(
                     "net.live.bytes", len(record), direction="received", endpoint=self._name
                 )

@@ -165,7 +165,20 @@ def build_service(role: str, state: DeploymentState):
 
 
 async def serve_role(role: str, state: DeploymentState) -> None:
-    """Start one service on its assigned port and serve until cancelled."""
+    """Start one service on its assigned port and serve until cancelled.
+
+    A served role always has telemetry to report: when the process has no
+    observability installed, a default bounded one (flight-recorder span
+    storage at the stock capacity) is installed so ``KIND_METRICS`` /
+    ``KIND_SPANS`` answer with real data instead of empty snapshots —
+    and memory stays flat however long the service runs.
+    """
+    from ..obs import Observability
+    from ..obs import profile as obs_profile
+    from ..obs.ring import DEFAULT_FLIGHT_RECORDER_CAPACITY
+
+    if obs_profile.active() is None:
+        Observability(span_capacity=DEFAULT_FLIGHT_RECORDER_CAPACITY).install()
     service = build_service(role, state)
     bound_host, bound_port = await service.start(state.host, state.ports[role])
     print(f"{role}: listening on {bound_host}:{bound_port}", flush=True)

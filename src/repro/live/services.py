@@ -52,6 +52,7 @@ from ..mq.messages import JmsFrame
 from ..obs import profile as obs
 from ..par import MatchPool
 from .rpc import LiveRpcEndpoint
+from .telemetry import install_telemetry
 
 __all__ = [
     "LiveDisseminationServer",
@@ -67,6 +68,7 @@ class _LiveService:
     def __init__(self, endpoint: LiveRpcEndpoint):
         self.endpoint = endpoint
         self._tasks: list[asyncio.Task] = []
+        install_telemetry(self)
 
     @property
     def name(self) -> str:
@@ -77,6 +79,15 @@ class _LiveService:
 
     def _background(self, coro) -> None:
         self._tasks.append(asyncio.ensure_future(coro))
+
+    def health_checks(self) -> dict[str, bool]:
+        """Service-specific readiness checks; substrate checks (listener,
+        trust root, dial backoff) live in :mod:`repro.live.telemetry`."""
+        return {"background_tasks_alive": all(not t.done() for t in self._tasks)}
+
+    def extra_metrics(self) -> list[dict]:
+        """Service-specific counter samples for the metrics snapshot."""
+        return []
 
     async def close(self) -> None:
         for task in self._tasks:
@@ -210,6 +221,12 @@ class LiveDisseminationServer(_LiveService):
         if entry not in self.registered_tokens:
             self.registered_tokens.append(entry)
             obs.record_op("ds.token_reg")
+            if self.group is not None:
+                # warm the worker pool now, not on the first publication —
+                # readiness (`match_pool_warm`) should flip when the DS
+                # commits to delegated matching, and the first matched
+                # fan-out should not pay the fork cost
+                self.match_pool
 
     def _unregister_token(self, src: str, token_bytes: bytes) -> None:
         entry = (src, bytes(token_bytes))
@@ -254,6 +271,36 @@ class LiveDisseminationServer(_LiveService):
 
     def subscriber_count(self, topic: str) -> int:
         return len(self.subscriptions[topic])
+
+    def health_checks(self) -> dict[str, bool]:
+        checks = super().health_checks()
+        # the pool is only part of readiness once delegated matching is in
+        # play: no registered tokens → no pool to warm
+        checks["match_pool_warm"] = (
+            not self.registered_tokens or self._match_pool is not None
+        )
+        return checks
+
+    def extra_metrics(self) -> list[dict]:
+        samples = super().extra_metrics()
+        samples.extend(
+            [
+                {"name": "ds.published", "labels": {}, "value": self.published_count},
+                {"name": "ds.delivered", "labels": {}, "value": self.delivered_count},
+                {"name": "ds.acked", "labels": {}, "value": self.acked_count},
+                {
+                    "name": "ds.subscribers",
+                    "labels": {"topic": self.metadata_topic},
+                    "value": self.subscriber_count(self.metadata_topic),
+                },
+                {
+                    "name": "ds.registered_tokens",
+                    "labels": {},
+                    "value": len(self.registered_tokens),
+                },
+            ]
+        )
+        return samples
 
     async def close(self) -> None:
         if self._match_pool is not None:
@@ -323,6 +370,23 @@ class LiveRepositoryServer(_LiveService):
             await asyncio.sleep(self.gc_interval_s)
             self.store.collect_garbage(now=self.clock())
 
+    def health_checks(self) -> dict[str, bool]:
+        checks = super().health_checks()
+        # readiness-meaningful alias: the GC loop is the RS's only
+        # background task, and a dead GC means unbounded storage growth
+        checks["gc_running"] = bool(self._tasks) and checks["background_tasks_alive"]
+        return checks
+
+    def extra_metrics(self) -> list[dict]:
+        samples = super().extra_metrics()
+        samples.extend(
+            [
+                {"name": "rs.stored_items", "labels": {}, "value": self.store.item_count},
+                {"name": "rs.expired", "labels": {}, "value": self.store.expired_count},
+            ]
+        )
+        return samples
+
 
 class LivePBETokenServer(_LiveService):
     """The PBE-TS over TCP: the same :class:`TokenIssuer` engine."""
@@ -371,6 +435,17 @@ class LivePBETokenServer(_LiveService):
         obs.end_span(span, status=status)
         return (sealed, len(sealed))
 
+    def extra_metrics(self) -> list[dict]:
+        samples = super().extra_metrics()
+        samples.append(
+            {
+                "name": "pbe_ts.token_requests",
+                "labels": {},
+                "value": len(self.observed_sources),
+            }
+        )
+        return samples
+
 
 class LiveAnonymizationService(_LiveService):
     """The anonymizing relay over TCP: re-originates each inner request,
@@ -400,3 +475,10 @@ class LiveAnonymizationService(_LiveService):
         )
         obs.end_span(span)
         return (response, wire_size_of(response))
+
+    def extra_metrics(self) -> list[dict]:
+        samples = super().extra_metrics()
+        samples.append(
+            {"name": "anon.forwarded", "labels": {}, "value": self.forwarded_count}
+        )
+        return samples

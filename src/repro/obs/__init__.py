@@ -16,10 +16,18 @@ Pieces:
 * :mod:`~repro.obs.profile` — the hooks installed into hot paths, and
   the global on/off switch that makes everything a no-op when disabled;
 * :mod:`~repro.obs.export` — JSONL spans, CSV metrics, console trees;
+* :mod:`~repro.obs.ring` — the bounded flight recorder behind a live
+  service's span storage (memory-flat for week-long processes);
+* :mod:`~repro.obs.exposition` — Prometheus/OpenMetrics text rendering
+  and the strict round-trip parser;
+* :mod:`~repro.obs.aggregate` — :class:`TelemetryAggregator`, merging
+  per-service scrapes into one deployment-wide registry and reassembling
+  cross-socket publish→deliver span trees;
 * :mod:`~repro.obs.observability` — the :class:`Observability` bundle
   experiments pass via ``P3SConfig(obs=...)``.
 """
 
+from .aggregate import TelemetryAggregator
 from .export import (
     format_op_summary,
     format_span_tree,
@@ -27,9 +35,11 @@ from .export import (
     write_metrics_csv,
     write_spans_jsonl,
 )
+from .exposition import Exposition, parse_openmetrics, sanitize_metric_name, to_openmetrics
 from .metrics import Counter, Histogram, MetricsRegistry
 from .observability import Observability
 from .profile import active, instrument, record_op
+from .ring import DEFAULT_FLIGHT_RECORDER_CAPACITY, FlightRecorder
 from .tracing import CONTEXT_HEADER, Span, SpanContext, Tracer
 
 __all__ = [
@@ -41,6 +51,13 @@ __all__ = [
     "MetricsRegistry",
     "Counter",
     "Histogram",
+    "FlightRecorder",
+    "DEFAULT_FLIGHT_RECORDER_CAPACITY",
+    "TelemetryAggregator",
+    "Exposition",
+    "to_openmetrics",
+    "parse_openmetrics",
+    "sanitize_metric_name",
     "record_op",
     "instrument",
     "active",

@@ -1,0 +1,224 @@
+"""Merge per-service telemetry snapshots into one deployment-wide view.
+
+A live P3S deployment is four services (and any number of clients), each
+exporting its own health document, metric series, and drained spans over
+the telemetry RPCs (:mod:`repro.live.telemetry`).  The
+:class:`TelemetryAggregator` is the substrate-free half of that plane:
+it accepts plain snapshot dicts — whatever JSON came off the wire — and
+maintains
+
+* a **merged metrics registry**: every service's counters and histograms
+  under a ``service`` label, rebuilt from the latest snapshot per
+  service so repeated polls replace rather than double-count;
+* a **reassembled span store**: spans from every scrape deduplicated by
+  ``(trace_id, span_id)``, from which cross-socket publish→deliver trees
+  are put back together and end-to-end latencies computed;
+* the **health table** behind ``repro live status`` / ``repro live top``.
+
+Nothing here imports asyncio or sockets — the aggregator is equally
+happy fed by the live telemetry client, by a test constructing snapshot
+dicts by hand, or by an offline tool replaying scraped JSON.
+"""
+
+from __future__ import annotations
+
+from .export import format_op_summary
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = ["TelemetryAggregator"]
+
+SERVICE_LABEL = "service"
+
+
+class TelemetryAggregator:
+    """Deployment-wide merge of per-service telemetry snapshots."""
+
+    def __init__(self, latency_window: int = 256):
+        self.latency_window = latency_window
+        self._health: dict[str, dict] = {}
+        self._metrics: dict[str, dict] = {}
+        # (trace_id, span_id) -> span dict; finished spans win over open ones
+        self._spans: dict[tuple[int, int], dict] = {}
+        self.total_dropped_spans = 0
+
+    # -- feeding ---------------------------------------------------------------
+
+    def update_health(self, service: str, health: dict) -> None:
+        """Record ``service``'s latest health document (replaces prior)."""
+        self._health[service] = dict(health)
+
+    def update_metrics(self, service: str, snapshot: dict) -> None:
+        """Record ``service``'s latest metrics snapshot (replaces prior).
+
+        Snapshots carry point-in-time totals, so merging is
+        *replacement*, never accumulation — polling twice must not
+        double a counter.
+        """
+        self._metrics[service] = snapshot
+
+    def add_spans(self, service: str, spans: list[dict], dropped: int | None = None) -> None:
+        """Fold drained spans in, deduplicating across services.
+
+        In a single-process deployment every service drains the same
+        process-global flight recorder, so the same span can arrive via
+        two services' scrapes — ``(trace_id, span_id)`` identity keeps
+        exactly one copy.  ``dropped`` is the recorder's cumulative
+        eviction count at scrape time (max-merged per call, since drains
+        are destructive but the drop counter is monotone).
+        """
+        for span in spans:
+            key = (span.get("trace_id"), span.get("span_id"))
+            existing = self._spans.get(key)
+            if existing is None or (existing.get("end_s") is None and span.get("end_s") is not None):
+                self._spans[key] = span
+        if dropped:
+            self.total_dropped_spans += dropped
+
+    # -- health ----------------------------------------------------------------
+
+    def services(self) -> list[str]:
+        return sorted(set(self._health) | set(self._metrics))
+
+    def health(self, service: str) -> dict:
+        return self._health.get(service, {"service": service, "alive": False, "ready": False})
+
+    @property
+    def all_alive(self) -> bool:
+        return bool(self._health) and all(h.get("alive") for h in self._health.values())
+
+    @property
+    def all_ready(self) -> bool:
+        return bool(self._health) and all(h.get("ready") for h in self._health.values())
+
+    def health_rows(self) -> list[list[str]]:
+        """``[service, alive, ready, failing checks]`` rows for display."""
+        rows: list[list[str]] = []
+        for service in self.services():
+            health = self.health(service)
+            failing = sorted(
+                name for name, ok in health.get("checks", {}).items() if not ok
+            )
+            rows.append(
+                [
+                    service,
+                    "yes" if health.get("alive") else "NO",
+                    "yes" if health.get("ready") else "NO",
+                    ", ".join(failing) if failing else "-",
+                ]
+            )
+        return rows
+
+    # -- metrics ---------------------------------------------------------------
+
+    def merged_registry(self) -> MetricsRegistry:
+        """One registry holding every service's series under a
+        ``service`` label, built from the latest snapshot per service."""
+        merged = MetricsRegistry()
+        for service, snapshot in sorted(self._metrics.items()):
+            for entry in snapshot.get("counters", []):
+                labels = {**entry.get("labels", {}), SERVICE_LABEL: service}
+                merged.inc(entry["name"], entry.get("value", 0), **labels)
+            for entry in snapshot.get("histograms", []):
+                labels = {**entry.get("labels", {}), SERVICE_LABEL: service}
+                for value in entry.get("values", []):
+                    merged.observe(entry["name"], value, **labels)
+        return merged
+
+    def counter_total(self, name: str) -> float:
+        """Deployment-wide total of one counter name."""
+        return self.merged_registry().counter_total(name)
+
+    def service_counter_total(self, service: str, name: str) -> float:
+        """One service's total of one counter name (all label sets)."""
+        snapshot = self._metrics.get(service, {})
+        return sum(
+            entry.get("value", 0)
+            for entry in snapshot.get("counters", [])
+            if entry["name"] == name
+        )
+
+    def op_table(self) -> str:
+        """Per-service crypto/protocol op counts, as a console table."""
+        merged = self.merged_registry()
+        # format_op_summary columns by "component"; in the aggregated view
+        # the column identity is the reporting service
+        view = MetricsRegistry()
+        for (name, label_key), counter in merged.counters.items():
+            if not name.startswith("op."):
+                continue
+            service = dict(label_key).get(SERVICE_LABEL, "")
+            view.inc(name, counter.value, component=service)
+        return format_op_summary(view)
+
+    # -- span reassembly ---------------------------------------------------------
+
+    def spans(self) -> list[dict]:
+        """Every accumulated span, ordered by start time."""
+        return sorted(self._spans.values(), key=lambda s: (s.get("start_s") or 0.0))
+
+    def trace_ids(self) -> list[int]:
+        return sorted({key[0] for key in self._spans})
+
+    def trace(self, trace_id: int) -> list[dict]:
+        return [span for (t, _), span in sorted(self._spans.items()) if t == trace_id]
+
+    def publish_deliver_latencies(self) -> list[float]:
+        """End-to-end publish→deliver seconds per reassembled trace.
+
+        A trace contributes once per completed delivery tree: latency is
+        the latest ``deliver`` span end minus the ``publish`` root start,
+        both on the exporting process's telemetry clock.  Traces still
+        missing either side (payload in flight, span not yet drained)
+        are skipped — they complete on a later poll.
+        """
+        publishes: dict[int, float] = {}
+        deliver_ends: dict[int, float] = {}
+        for (trace_id, _), span in self._spans.items():
+            if span.get("name") == "publish":
+                publishes[trace_id] = span.get("start_s", 0.0)
+            elif span.get("name") == "deliver" and span.get("end_s") is not None:
+                deliver_ends[trace_id] = max(
+                    deliver_ends.get(trace_id, float("-inf")), span["end_s"]
+                )
+        latencies = [
+            deliver_ends[trace_id] - start
+            for trace_id, start in sorted(publishes.items())
+            if trace_id in deliver_ends
+        ]
+        return latencies[-self.latency_window :]
+
+    def latency_summary(self) -> dict[str, float]:
+        """Rolling p50/p95/count over the reassembled latencies."""
+        histogram = Histogram("publish_deliver_s", ())
+        for value in self.publish_deliver_latencies():
+            histogram.observe(value)
+        return {
+            "count": histogram.count,
+            "p50_s": histogram.percentile(0.5),
+            "p95_s": histogram.percentile(0.95),
+            "max_s": histogram.maximum,
+        }
+
+    # -- export ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """The ``repro live status --json`` document."""
+        merged = self.merged_registry()
+        return {
+            "services": {service: self.health(service) for service in self.services()},
+            "all_alive": self.all_alive,
+            "all_ready": self.all_ready,
+            "counters": merged.rows(),
+            "ops": {
+                name: {
+                    service: self.service_counter_total(service, name)
+                    for service in sorted(self._metrics)
+                    if self.service_counter_total(service, name)
+                }
+                for name in merged.counter_names()
+                if name.startswith("op.")
+            },
+            "latency": self.latency_summary(),
+            "dropped_spans": self.total_dropped_spans,
+            "span_count": len(self._spans),
+        }

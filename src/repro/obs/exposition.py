@@ -1,0 +1,211 @@
+"""Prometheus/OpenMetrics text exposition for a :class:`MetricsRegistry`.
+
+The live telemetry plane renders every scrape twice: structured JSON for
+the aggregator, and the OpenMetrics text format for anything that speaks
+Prometheus.  This module owns the text side:
+
+* :func:`to_openmetrics` — render a registry (counters become
+  ``<name>_total`` counter families, histograms become summary families
+  with ``quantile`` labels plus ``_count``/``_sum``), with dots in
+  metric names mapped to underscores, label values escaped per the spec,
+  and a terminating ``# EOF``;
+* :func:`parse_openmetrics` — a small, strict parser used by tests (and
+  handy for ad-hoc tooling) to prove the exposition round-trips: every
+  rendered sample must come back with the same name, labels, and value.
+
+Only the subset of OpenMetrics this repo emits is supported — counter,
+gauge, and summary families with float values.  That is deliberate: the
+parser is a verification tool, not a scraping client.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "to_openmetrics",
+    "parse_openmetrics",
+    "Exposition",
+    "sanitize_metric_name",
+]
+
+DEFAULT_NAMESPACE = "p3s"
+SUMMARY_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+_VALID_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR = re.compile(r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)')
+
+
+def sanitize_metric_name(name: str, namespace: str = DEFAULT_NAMESPACE) -> str:
+    """Map a repo metric name (``op.hve.match``) to a legal exposition
+    name (``p3s_op_hve_match``)."""
+    flat = _INVALID_CHARS.sub("_", name)
+    if not flat or not _VALID_NAME.match(flat):
+        flat = "_" + flat
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_openmetrics(
+    registry: MetricsRegistry,
+    gauge_names: frozenset[str] | set[str] = frozenset(),
+    namespace: str = DEFAULT_NAMESPACE,
+    extra_labels: dict[str, str] | None = None,
+) -> str:
+    """Render ``registry`` in OpenMetrics text format.
+
+    Counter names in ``gauge_names`` are typed ``gauge`` (point-in-time
+    values like open-connection counts); everything else is a monotone
+    ``counter`` and gets the spec's ``_total`` sample suffix.
+    Histograms render as ``summary`` families with exact nearest-rank
+    quantiles (raw values are retained at this scale, so no buckets are
+    needed).  ``extra_labels`` is stamped onto every sample — the
+    aggregator uses it for the per-service label.
+    """
+    stamp = dict(extra_labels or {})
+    lines: list[str] = []
+
+    by_counter: dict[str, list] = {}
+    for (name, label_key), counter in sorted(registry.counters.items()):
+        by_counter.setdefault(name, []).append((label_key, counter.value))
+    for name, series in by_counter.items():
+        flat = sanitize_metric_name(name, namespace)
+        kind = "gauge" if name in gauge_names else "counter"
+        lines.append(f"# TYPE {flat} {kind}")
+        sample_name = flat if kind == "gauge" else flat + "_total"
+        for label_key, value in series:
+            labels = {**dict(label_key), **stamp}
+            lines.append(f"{sample_name}{_format_labels(labels)} {_format_value(value)}")
+
+    by_histogram: dict[str, list] = {}
+    for (name, label_key), histogram in sorted(registry.histograms.items()):
+        by_histogram.setdefault(name, []).append((label_key, histogram))
+    for name, series in by_histogram.items():
+        flat = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {flat} summary")
+        for label_key, histogram in series:
+            labels = {**dict(label_key), **stamp}
+            for quantile in SUMMARY_QUANTILES:
+                q_labels = {**labels, "quantile": f"{quantile:g}"}
+                lines.append(
+                    f"{flat}{_format_labels(q_labels)} "
+                    f"{_format_value(histogram.percentile(quantile))}"
+                )
+            lines.append(f"{flat}_count{_format_labels(labels)} {_format_value(float(histogram.count))}")
+            lines.append(f"{flat}_sum{_format_labels(labels)} {_format_value(histogram.total)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+_LabelsKey = tuple[tuple[str, str], ...]
+
+
+@dataclass
+class Exposition:
+    """A parsed exposition: sample values plus family types."""
+
+    types: dict[str, str] = field(default_factory=dict)
+    samples: dict[tuple[str, _LabelsKey], float] = field(default_factory=dict)
+
+    def value(self, name: str, **labels: str) -> float:
+        """One sample's value; raises ``KeyError`` when absent."""
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return self.samples[key]
+
+    def sample_names(self) -> list[str]:
+        return sorted({name for name, _ in self.samples})
+
+    def total(self, name: str) -> float:
+        """Sum of every sample of ``name`` across label sets."""
+        return sum(v for (n, _), v in self.samples.items() if n == name)
+
+
+def _parse_labels(raw: str) -> _LabelsKey:
+    labels: list[tuple[str, str]] = []
+    position = 0
+    while position < len(raw):
+        match = _LABEL_PAIR.match(raw, position)
+        if match is None:
+            raise ValueError(f"malformed label block at {raw[position:]!r}")
+        labels.append((match.group("key"), _unescape_label_value(match.group("value"))))
+        position = match.end()
+    return tuple(sorted(labels))
+
+
+def parse_openmetrics(text: str) -> Exposition:
+    """Parse an exposition produced by :func:`to_openmetrics`.
+
+    Strict about what it accepts (one metric per line, ``# TYPE``
+    comments, a final ``# EOF``) so tests catch format drift.
+    """
+    exposition = Exposition()
+    saw_eof = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError(f"line {line_number}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) == 4 and parts[1] == "TYPE":
+                exposition.types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: malformed sample {line!r}")
+        labels = _parse_labels(match.group("labels") or "")
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(f"line {line_number}: bad value {match.group('value')!r}") from exc
+        exposition.samples[(match.group("name"), labels)] = value
+    if not saw_eof:
+        raise ValueError("exposition missing terminating # EOF")
+    return exposition

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
+from typing import Callable
 
 __all__ = ["Counter", "Histogram", "MetricsRegistry"]
 
@@ -162,6 +163,54 @@ class MetricsRegistry:
     def clear(self) -> None:
         self.counters.clear()
         self.histograms.clear()
+
+    # -- snapshots (the telemetry plane's JSON view) ----------------------------
+
+    def counter_series(
+        self, where: "Callable[[str, dict[str, str]], bool] | None" = None
+    ) -> list[dict[str, object]]:
+        """Every counter as ``{"name", "labels", "value"}``, stable order.
+
+        ``where(name, labels)`` filters — e.g. a live service exporting
+        only the series attributed to its own component.
+        """
+        out: list[dict[str, object]] = []
+        for (name, label_key), counter in sorted(self.counters.items()):
+            labels = dict(label_key)
+            if where is not None and not where(name, labels):
+                continue
+            out.append({"name": name, "labels": labels, "value": counter.value})
+        return out
+
+    def histogram_series(
+        self,
+        where: "Callable[[str, dict[str, str]], bool] | None" = None,
+        max_values: int | None = None,
+    ) -> list[dict[str, object]]:
+        """Every histogram as ``{"name", "labels", "values"}``.
+
+        ``max_values`` caps each series to its most recent samples so a
+        telemetry response stays bounded no matter how long the service
+        has been up; the full count/sum survive in ``count``/``sum``.
+        """
+        out: list[dict[str, object]] = []
+        for (name, label_key), histogram in sorted(self.histograms.items()):
+            labels = dict(label_key)
+            if where is not None and not where(name, labels):
+                continue
+            values = histogram.values
+            if max_values is not None and len(values) > max_values:
+                values = values[-max_values:]
+            out.append(
+                {
+                    "name": name,
+                    "labels": labels,
+                    "values": list(values),
+                    "count": histogram.count,
+                    "sum": histogram.total,
+                }
+            )
+        return out
 
     # -- export ------------------------------------------------------------------
 

@@ -44,10 +44,24 @@ __all__ = ["Observability"]
 
 
 class Observability:
-    """Tracing + metrics for one (or several comparable) simulation runs."""
+    """Tracing + metrics for one (or several comparable) simulation runs.
 
-    def __init__(self, clock: Callable[[], float] | None = None):
-        self.tracer = Tracer(clock)
+    ``span_capacity`` bounds span storage with the flight-recorder ring
+    (see :mod:`repro.obs.ring`) — mandatory hygiene for long-running
+    live services, left unbounded by default so experiment runs keep
+    every span.  ``slow_span_threshold_s`` logs spans whose wall-clock
+    time reaches the threshold into ``tracer.slow_spans``.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        span_capacity: int | None = None,
+        slow_span_threshold_s: float | None = None,
+    ):
+        self.tracer = Tracer(
+            clock, capacity=span_capacity, slow_span_threshold_s=slow_span_threshold_s
+        )
         self.metrics = MetricsRegistry()
 
     # -- lifecycle -----------------------------------------------------------

@@ -33,8 +33,11 @@ Two usage patterns, matching the two shapes of work in the simulator:
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
+
+from .ring import FlightRecorder
 
 __all__ = ["Span", "SpanContext", "Tracer", "CONTEXT_HEADER"]
 
@@ -136,15 +139,39 @@ class Tracer:
 
     ``clock`` supplies simulated time; the orchestrator binds it to
     ``sim.now`` when the observability instance is installed.
+
+    Span storage is a :class:`~repro.obs.ring.FlightRecorder`:
+    ``capacity=None`` (default) keeps the historical unbounded-list
+    behaviour; a live service passes a bound so a week of traffic stays
+    memory-flat, with evictions counted in :attr:`dropped_spans`.
+    Spans whose wall-clock duration reaches ``slow_span_threshold_s``
+    additionally land in the bounded :attr:`slow_spans` log.
     """
 
-    def __init__(self, clock: Callable[[], float] | None = None):
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        capacity: int | None = None,
+        slow_span_threshold_s: float | None = None,
+        slow_log_capacity: int = 32,
+    ):
         self.clock: Callable[[], float] = clock or (lambda: 0.0)
-        self.spans: list[Span] = []
+        self.spans: FlightRecorder = FlightRecorder(capacity, on_evict=self._forget)
+        self.slow_span_threshold_s = slow_span_threshold_s
+        self.slow_spans: deque[Span] = deque(maxlen=slow_log_capacity)
         self._by_id: dict[int, Span] = {}
         self._stack: list[Span] = []
         self._next_span_id = 1
         self._next_trace_id = 1
+
+    @property
+    def dropped_spans(self) -> int:
+        """Spans evicted from the flight recorder (never silent)."""
+        return self.spans.dropped
+
+    def _forget(self, span: Span) -> None:
+        """Eviction hook: keep the id index in step with the ring."""
+        self._by_id.pop(span.span_id, None)
 
     # -- creation ------------------------------------------------------------
 
@@ -191,7 +218,24 @@ class Tracer:
         if not span.finished:
             span.end = self.clock()
             span.wall_end = time.perf_counter()
+            if (
+                self.slow_span_threshold_s is not None
+                and span.wall_duration >= self.slow_span_threshold_s
+            ):
+                self.slow_spans.append(span)
         return span
+
+    def drain_finished(self) -> list[Span]:
+        """Destructive scrape: remove and return every finished span.
+
+        The telemetry plane's KIND_SPANS RPC calls this — repeated polls
+        see each span exactly once, and the recorder never regrows past
+        its capacity between polls.
+        """
+        drained = self.spans.drain()
+        for span in drained:
+            self._by_id.pop(span.span_id, None)
+        return drained
 
     # -- scoped (stack-managed) use -------------------------------------------
 
@@ -241,6 +285,7 @@ class Tracer:
 
     def clear(self) -> None:
         self.spans.clear()
+        self.slow_spans.clear()
         self._by_id.clear()
         self._stack.clear()
 

@@ -59,6 +59,58 @@ class TestHistograms:
     def test_missing_histogram(self):
         assert MetricsRegistry().histogram("nope") is None
 
+    def test_percentile_of_empty_histogram_is_zero(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0)
+        histogram = registry.histogram("h")
+        histogram.values.clear()
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert histogram.percentile(fraction) == 0.0
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.maximum == 0.0
+
+    def test_percentile_of_single_sample(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 42.0)
+        histogram = registry.histogram("h")
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert histogram.percentile(fraction) == 42.0
+
+    def test_percentile_all_equal_samples(self):
+        registry = MetricsRegistry()
+        for _ in range(7):
+            registry.observe("h", 3.0)
+        histogram = registry.histogram("h")
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert histogram.percentile(fraction) == 3.0
+
+    def test_percentile_clamps_out_of_range_fractions(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.observe("h", value)
+        histogram = registry.histogram("h")
+        assert histogram.percentile(-0.5) == 1.0
+        assert histogram.percentile(1.5) == 3.0
+
+
+class TestSeriesSnapshots:
+    def test_counter_series_filter(self):
+        registry = MetricsRegistry()
+        registry.inc("op.pairing", 3, component="ds")
+        registry.inc("op.pairing", 9, component="rs")
+        mine = registry.counter_series(where=lambda _n, labels: labels.get("component") == "ds")
+        assert mine == [{"name": "op.pairing", "labels": {"component": "ds"}, "value": 3}]
+
+    def test_histogram_series_caps_values_but_keeps_totals(self):
+        registry = MetricsRegistry()
+        for value in range(10):
+            registry.observe("h", float(value), host="ds")
+        (series,) = registry.histogram_series(max_values=3)
+        assert series["values"] == [7.0, 8.0, 9.0]  # most recent survive
+        assert series["count"] == 10
+        assert series["sum"] == 45.0
+
 
 class TestLifecycleAndExport:
     def test_empty_and_clear(self):
