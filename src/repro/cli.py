@@ -15,6 +15,8 @@
     python -m repro live run --state p3s.state        # drive clients against them
     python -m repro live status --state p3s.state     # health + op totals (or in-process demo)
     python -m repro live top --state p3s.state        # refreshing per-service throughput view
+    python -m repro live init --state p3s.state --data-dir ./p3s-data   # durable deployment
+    python -m repro store inspect ./p3s-data/rs       # keyless store-file dump
 """
 
 from __future__ import annotations
@@ -202,11 +204,37 @@ def _cmd_live_demo(args) -> None:
 
 
 def _cmd_live_init(args) -> None:
+    from .core.config import P3SConfig
     from .live.runner import init_state
 
-    state = init_state(args.state, host=args.host, base_port=args.base_port)
+    config = P3SConfig()
+    if args.store_backend:
+        config = config.with_(store_backend=args.store_backend)
+    state = init_state(
+        args.state,
+        host=args.host,
+        base_port=args.base_port,
+        config=config,
+        data_dir=args.data_dir,
+    )
     plan = ", ".join(f"{name}={port}" for name, port in state.ports.items())
     print(f"wrote deployment state to {args.state} ({plan})")
+    if state.data_dir is not None:
+        print(
+            f"durable stores ({state.config.store_backend}) under {state.data_dir}"
+        )
+
+
+def _cmd_store_inspect(args) -> None:
+    import json
+
+    from .store import format_inspection, inspect_store
+
+    report = inspect_store(args.path)
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+    else:
+        print(format_inspection(report))
 
 
 def _make_serve_cmd(role: str):
@@ -529,6 +557,15 @@ def build_parser() -> argparse.ArgumentParser:
     live_init.add_argument("--state", required=True, metavar="FILE")
     live_init.add_argument("--host", default="127.0.0.1")
     live_init.add_argument("--base-port", type=int, default=7341)
+    live_init.add_argument(
+        "--data-dir", metavar="DIR", default=None,
+        help="enable durable persistence: RS/DS state under DIR/<role> "
+             "(default backend: wal)",
+    )
+    live_init.add_argument(
+        "--store-backend", choices=["wal", "sqlite"], default=None,
+        help="storage backend when --data-dir is given (default wal)",
+    )
     live_init.set_defaults(func=_cmd_live_init)
 
     for role in ("ds", "rs", "pbe-ts", "anon"):
@@ -580,6 +617,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="append sweeps instead of clearing the screen (for logs/CI)",
     )
     live_top.set_defaults(func=_cmd_live_top)
+
+    store = sub.add_parser("store", help="inspect repro.store files")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_inspect = store_sub.add_parser(
+        "inspect",
+        help="dump record counts, live/tombstone ratio, and last committed "
+             "LSN of a store directory or sqlite file (no key needed)",
+    )
+    store_inspect.add_argument("path", help="WAL store directory or sqlite database file")
+    store_inspect.add_argument("--json", action="store_true", help="emit JSON")
+    store_inspect.set_defaults(func=_cmd_store_inspect)
     return parser
 
 

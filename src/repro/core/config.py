@@ -100,6 +100,19 @@ class P3SConfig:
     # MatchPool size for the DS: None defers to P3S_MATCH_WORKERS (then
     # serial); values <= 1 force the serial in-process path.
     match_workers: int | None = None
+    # -- durable persistence (repro.store; see docs/PERSISTENCE.md) --
+    # Backend for RS items and DS registrations: "memory" (default, the
+    # historical purely-in-memory behaviour), "wal", or "sqlite".  The
+    # durable backends need ``data_dir``; each service gets its own
+    # subtree (``<data_dir>/rs``, ``<data_dir>/ds``).
+    store_backend: str = "memory"
+    data_dir: str | None = None
+    # 32-byte at-rest AEAD key sealing record values, or None for clear
+    store_key: bytes | None = None
+    # fsync every WAL append (turn off only in benchmarks/tests)
+    store_fsync: bool = True
+    # WAL records between automatic snapshot+compaction passes
+    store_snapshot_every: int = 1024
 
     def with_(self, **overrides) -> "P3SConfig":
         """A copy with the given fields replaced."""

@@ -42,6 +42,16 @@ from ..mq.messages import JmsFrame
 from ..net.network import Host, Message
 from ..obs import profile as obs
 from ..par import MatchPool
+from ..store import MemoryEngine, StorageEngine
+from ..store.codec import (
+    NS_SUBS,
+    NS_TOKENS,
+    decode_sub_key,
+    decode_token,
+    encode_token,
+    sub_key,
+    token_key,
+)
 from .config import ComputeTimings
 from .messages import (
     KIND_METADATA,
@@ -71,6 +81,7 @@ class DisseminationServer(Broker):
         group=None,
         timings: ComputeTimings | None = None,
         match_workers: int | None = None,
+        store: StorageEngine | None = None,
     ):
         super().__init__(host)
         self.rs_name = rs_name
@@ -79,9 +90,15 @@ class DisseminationServer(Broker):
         self.timings = timings
         self.match_workers = match_workers
         # Delegated-matching registry: (subscriber name, serialized token).
-        # Volatile — lost on crash, like subscriptions.
+        # In-process state is lost on crash, like subscriptions; both
+        # write through to the store engine, so with a durable backend
+        # restart() recovers them instead of waiting for re-registration.
+        self.store = store if store is not None else MemoryEngine()
         self.registered_tokens: list[tuple[str, bytes]] = []
         self._match_pool: MatchPool | None = None
+        self.recovered_registrations = 0
+        if self.store.durable:
+            self.recovered_registrations = self._recover_registrations()
         # HBC-observable state (§6.1: "the DS knows the per-publisher
         # publication rate and number of items published by each publisher",
         # and "the size of payloads and the size of encrypted PBE metadata").
@@ -119,19 +136,56 @@ class DisseminationServer(Broker):
             # JMS interface is retained)
             super().on_publish(src, frame)
 
+    # -- durable registrations -------------------------------------------------
+
+    def _recover_registrations(self) -> int:
+        """Reload token registrations and subscriptions from the store.
+
+        Registration order is not persisted (engine iteration order is
+        key order); delivery sets do not depend on it — matched fan-out
+        iterates the subscription table, and a re-registering client
+        lands in the same slots it would have re-earned.
+        """
+        recovered = 0
+        for _key, value in self.store.items(NS_TOKENS):
+            entry = decode_token(value)
+            if entry not in self.registered_tokens:
+                self.registered_tokens.append(entry)
+                recovered += 1
+        for key, _value in self.store.items(NS_SUBS):
+            topic, client = decode_sub_key(key)
+            if client not in self.subscriptions[topic]:
+                self.subscriptions[topic].append(client)
+                recovered += 1
+        return recovered
+
     # -- delegated matching ---------------------------------------------------
 
     def _register_token(self, src: str, token_bytes: bytes) -> None:
         entry = (src, bytes(token_bytes))
         if entry not in self.registered_tokens:
             self.registered_tokens.append(entry)
+            self.store.put(
+                NS_TOKENS, token_key(src, entry[1]), encode_token(src, entry[1])
+            )
             obs.record_op("ds.token_reg")
 
     def _unregister_token(self, src: str, token_bytes: bytes) -> None:
         entry = (src, bytes(token_bytes))
         if entry in self.registered_tokens:
             self.registered_tokens.remove(entry)
+            self.store.delete(NS_TOKENS, token_key(src, entry[1]))
             obs.record_op("ds.token_unreg")
+
+    # -- durable subscription table --------------------------------------------
+
+    def _subscribe(self, client: str, topic: str) -> None:
+        super()._subscribe(client, topic)
+        self.store.put(NS_SUBS, sub_key(topic, client), b"")
+
+    def _unsubscribe(self, client: str, topic: str) -> None:
+        super()._unsubscribe(client, topic)
+        self.store.delete(NS_SUBS, sub_key(topic, client))
 
     @property
     def match_pool(self) -> MatchPool:
@@ -191,10 +245,19 @@ class DisseminationServer(Broker):
             self._match_pool = None
 
     def crash(self) -> None:
-        """Registered tokens are volatile state — lost with subscriptions."""
+        """In-process registrations die with the process; a durable
+        store engine (the "disk") keeps its copy for restart()."""
         super().crash()
         self.registered_tokens.clear()
         self.close_match_pool()
+
+    def restart(self) -> None:
+        """With a durable store the DS does *not* need to wait for
+        re-registration (the §6.1 restart cost the persistence layer
+        removes); with the memory engine the old semantics hold."""
+        super().restart()
+        if self.store.durable:
+            self.recovered_registrations = self._recover_registrations()
 
     def _forward_to_rs(self, frame: JmsFrame) -> None:
         submission: PayloadSubmission = frame.body

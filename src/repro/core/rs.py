@@ -25,6 +25,7 @@ item was ever matched) — the privacy analysis asserts over these logs.
 
 from __future__ import annotations
 
+import heapq
 import json
 from dataclasses import dataclass
 
@@ -36,6 +37,8 @@ from ..net.channel import SecureChannelLayer
 from ..net.network import Host
 from ..net.rpc import RpcEndpoint
 from ..obs import profile as obs
+from ..store import MemoryEngine, StorageEngine
+from ..store.codec import NS_ITEMS, decode_item, encode_item
 from .config import ComputeTimings
 from .messages import RPC_RETRIEVE, RPC_STORE, PayloadSubmission
 
@@ -96,20 +99,57 @@ class RepositoryStore:
     Every method takes ``now`` explicitly — the simulator passes
     ``sim.now``, the live service passes its wall clock — so TTL
     semantics are identical on both substrates.
+
+    Durability is delegated to a pluggable
+    :class:`~repro.store.StorageEngine`: every store writes through to
+    the engine's ``items`` namespace and every GC deletion tombstones
+    it, so with a durable backend (``wal``/``sqlite``) the committed
+    item set survives ``kill -9`` and is recovered at construction.
+    The default :class:`~repro.store.MemoryEngine` reproduces the old
+    purely-in-memory behaviour bit for bit.
+
+    GC cost: expiry times ride a min-heap, so one sweep is
+    O(expired · log n) instead of a full scan of every live item
+    (``last_gc_examined`` counts heap pops for the regression test).
+    Entries whose item was overwritten with a different expiry are
+    dropped lazily when popped.
     """
 
-    def __init__(self, t_g: float = 60.0):
+    def __init__(self, t_g: float = 60.0, engine: StorageEngine | None = None):
         self.t_g = t_g
+        self.engine = engine if engine is not None else MemoryEngine()
         self._items: dict[bytes, _StoredItem] = {}
+        self._expiry_heap: list[tuple[float, bytes]] = []
         self.stored_count = 0
         self.expired_count = 0
         self.failed_retrievals = 0
+        self.last_gc_examined = 0
+        self.recovered_count = self._recover()
+
+    def _recover(self) -> int:
+        """Rebuild the in-memory index from whatever the engine holds.
+
+        Request counts start at zero: they are operator observability,
+        not committed protocol state (see :mod:`repro.store.codec`).
+        """
+        for guid, value in self.engine.items(NS_ITEMS):
+            stored_at, expires_at, ciphertext = decode_item(value)
+            self._items[guid] = _StoredItem(
+                ciphertext=ciphertext, stored_at=stored_at, expires_at=expires_at
+            )
+            heapq.heappush(self._expiry_heap, (expires_at, guid))
+        return len(self._items)
 
     def store(self, submission: PayloadSubmission, now: float) -> None:
+        expires_at = now + submission.ttl_s + self.t_g
         self._items[submission.guid] = _StoredItem(
             ciphertext=submission.ciphertext,
             stored_at=now,
-            expires_at=now + submission.ttl_s + self.t_g,
+            expires_at=expires_at,
+        )
+        heapq.heappush(self._expiry_heap, (expires_at, submission.guid))
+        self.engine.put(
+            NS_ITEMS, submission.guid, encode_item(now, expires_at, submission.ciphertext)
         )
         self.stored_count += 1
 
@@ -122,13 +162,34 @@ class RepositoryStore:
         item.request_count += 1
         return _OK + item.ciphertext, "hit"
 
-    def collect_garbage(self, now: float) -> int:
-        """Drop every item past ``TTL_item + T_G``; returns how many."""
-        expired = [guid for guid, item in self._items.items() if now >= item.expires_at]
-        for guid in expired:
+    def collect_garbage(self, now: float, compact: bool = False) -> int:
+        """Drop every item past ``TTL_item + T_G``; returns how many.
+
+        Each deletion tombstones the engine; ``compact=True``
+        additionally rewrites the backend afterwards so the expired
+        ciphertext bytes are physically unrecoverable from any store
+        file (§4.3's deletion made verifiable).
+        """
+        removed = 0
+        self.last_gc_examined = 0
+        while self._expiry_heap and self._expiry_heap[0][0] <= now:
+            expires_at, guid = heapq.heappop(self._expiry_heap)
+            self.last_gc_examined += 1
+            item = self._items.get(guid)
+            if item is None or item.expires_at != expires_at:
+                continue  # stale entry: the item was overwritten or already gone
             del self._items[guid]
-        self.expired_count += len(expired)
-        return len(expired)
+            self.engine.delete(NS_ITEMS, guid)
+            removed += 1
+        self.expired_count += removed
+        if removed:
+            obs.record_op("rs.gc_expired", removed)
+            if compact:
+                self.engine.compact()
+        return removed
+
+    def compact(self) -> dict:
+        return self.engine.compact()
 
     def holds(self, guid: bytes, now: float) -> bool:
         item = self._items.get(guid)
@@ -142,6 +203,9 @@ class RepositoryStore:
     def item_count(self) -> int:
         return len(self._items)
 
+    def close(self) -> None:
+        self.engine.close()
+
 
 class RepositoryServer:
     """The RS service process on the simulator substrate."""
@@ -153,6 +217,7 @@ class RepositoryServer:
         timings: ComputeTimings,
         t_g: float = 60.0,
         gc_interval_s: float = 10.0,
+        engine: StorageEngine | None = None,
     ):
         self.host = host
         self.timings = timings
@@ -163,8 +228,9 @@ class RepositoryServer:
         self.rpc.serve(RPC_STORE, self._handle_store)
         self.rpc.serve(RPC_RETRIEVE, self._handle_retrieve)
         # the engine models the on-disk store: "The RS stores encrypted
-        # content on disk" (§6.1) — it survives crash()/restart().
-        self.store = RepositoryStore(t_g=t_g)
+        # content on disk" (§6.1) — it survives crash()/restart().  With
+        # a durable repro.store backend it survives process death too.
+        self.store = RepositoryStore(t_g=t_g, engine=engine)
         self.crashed = False
         # HBC-observable state (consumed by the privacy analysis):
         self.observed_sources: list[str] = []
@@ -240,8 +306,14 @@ class RepositoryServer:
             self.collect_garbage()
 
     def collect_garbage(self) -> int:
-        """Drop every item past ``TTL_item + T_G``; returns how many."""
-        return self.store.collect_garbage(now=self.sim.now)
+        """Drop every item past ``TTL_item + T_G``; returns how many.
+
+        On a durable engine the sweep also compacts, so expired
+        ciphertext is gone from the store files, not merely tombstoned.
+        """
+        return self.store.collect_garbage(
+            now=self.sim.now, compact=self.store.engine.durable
+        )
 
     # -- crash / restart (§6.1) --------------------------------------------------------
 

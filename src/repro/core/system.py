@@ -19,12 +19,15 @@ Typical use::
 
 from __future__ import annotations
 
+import os
+
 from ..crypto.group import PairingGroup
 from ..mq.client import JmsConnection
 from ..net.network import Network
 from ..net.simulator import Simulator
 from ..pbe.hve import HVE
 from ..pbe.schema import Interest
+from ..store import StorageEngine, open_engine
 from .anonymizer import AnonymizationService
 from .ara import RegistrationAuthority
 from .config import P3SConfig
@@ -64,6 +67,7 @@ class P3SSystem:
             self.config.timings,
             t_g=self.config.t_g,
             gc_interval_s=self.config.rs_gc_interval_s,
+            engine=self._open_store("rs"),
         )
         ds_host = self.network.add_host("ds")
         ds_host.set_link_bandwidth("rs", self.config.lan_bandwidth_bps)
@@ -74,6 +78,7 @@ class P3SSystem:
             group=self.group,
             timings=self.config.timings,
             match_workers=self.config.match_workers,
+            store=self._open_store("ds"),
         )
         hve = HVE(self.group)
         master_key, verify_key = self.ara.provision_pbe_ts()
@@ -100,6 +105,31 @@ class P3SSystem:
 
         self.publishers: dict[str, Publisher] = {}
         self.subscribers: dict[str, Subscriber] = {}
+
+    def _open_store(self, role: str) -> StorageEngine | None:
+        """One storage engine per durable service, under ``data_dir/<role>``.
+
+        With the default ``memory`` backend returns None so the service
+        constructs its own MemoryEngine — exactly the historical
+        behaviour.
+        """
+        backend = self.config.store_backend
+        if backend == "memory":
+            return None
+        if self.config.data_dir is None:
+            raise ValueError(f"store_backend={backend!r} requires data_dir")
+        root = os.path.join(self.config.data_dir, role)
+        path = os.path.join(root, "store.db") if backend == "sqlite" else root
+        if backend == "sqlite":
+            os.makedirs(root, exist_ok=True)
+        return open_engine(
+            backend,
+            path,
+            key=self.config.store_key,
+            fsync=self.config.store_fsync,
+            snapshot_every=self.config.store_snapshot_every,
+            component=role,
+        )
 
     # -- participants -----------------------------------------------------------
 

@@ -123,6 +123,26 @@ class TokenRequestError(P3SError):
     """PBE-TS rejected a token request."""
 
 
+# --------------------------------------------------------------------------
+# Durable storage (repro.store)
+# --------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class CorruptRecordError(StorageError):
+    """A log/snapshot record failed its CRC or framing checks somewhere
+    other than the torn tail — the file is damaged, not merely truncated
+    by a crash, and recovery refuses to guess past it."""
+
+
+class RecoveryError(StorageError):
+    """Replaying snapshot + log could not reconstruct a consistent state
+    (missing snapshot referenced by the manifest, unreadable directory,
+    wrong store key)."""
+
+
 class RetrievalError(P3SError):
     """Repository Server could not satisfy a payload retrieval."""
 

@@ -17,6 +17,7 @@ plainly a secrets file: keep it on the deployment host.
 from __future__ import annotations
 
 import asyncio
+import os
 import pickle
 from dataclasses import dataclass, field
 
@@ -27,6 +28,7 @@ from ..crypto.group import PairingGroup
 from ..crypto.pke import PKEKeyPair
 from ..errors import RegistrationError
 from ..pbe.hve import HVE
+from ..store import StorageEngine, open_engine
 from .channel import ServerIdentity
 from .clients import LivePublisher, LiveSubscriber
 from .deployment import ANON_NAME, DS_NAME, PBE_TS_NAME, RS_NAME
@@ -63,10 +65,41 @@ class DeploymentState:
     rs_pke: PKEKeyPair
     pbe_ts_pke: PKEKeyPair
     registered_clients: dict[str, str] = field(default_factory=dict)
+    # durable persistence (repro.store): directory holding one subtree
+    # per service, and the per-service at-rest sealing keys minted at
+    # registration time (the bundle is already the secrets file)
+    data_dir: str | None = None
+    store_keys: dict[str, bytes] = field(default_factory=dict)
 
     @property
     def group(self) -> PairingGroup:
         return self.ara.group
+
+    def open_store(self, role: str) -> StorageEngine | None:
+        """Open ``role``'s storage engine per the deployment config.
+
+        None with the ``memory`` backend — the service builds its own
+        volatile engine, the pre-persistence behaviour.
+        """
+        backend = self.config.store_backend
+        if backend == "memory":
+            return None
+        if self.data_dir is None:
+            raise RegistrationError(
+                f"store_backend={backend!r} needs `repro live init --data-dir`"
+            )
+        root = os.path.join(self.data_dir, role)
+        path = os.path.join(root, "store.db") if backend == "sqlite" else root
+        if backend == "sqlite":
+            os.makedirs(root, exist_ok=True)
+        return open_engine(
+            backend,
+            path,
+            key=self.store_keys.get(role),
+            fsync=self.config.store_fsync,
+            snapshot_every=self.config.store_snapshot_every,
+            component=role,
+        )
 
     def address_book(self) -> AddressBook:
         book = AddressBook()
@@ -88,9 +121,22 @@ def init_state(
     host: str = "127.0.0.1",
     base_port: int = 7341,
     config: P3SConfig | None = None,
+    data_dir: str | None = None,
 ) -> DeploymentState:
-    """Mint a deployment's trust material and write it to ``path``."""
+    """Mint a deployment's trust material and write it to ``path``.
+
+    ``data_dir`` turns on durable persistence: the RS and DS open
+    ``repro.store`` engines under ``<data_dir>/<role>`` (backend from
+    ``config.store_backend``, defaulting to ``wal`` when a data dir is
+    given), each sealed with its own key minted here.
+    """
     config = config or P3SConfig()
+    if data_dir is not None and config.store_backend == "memory":
+        config = config.with_(store_backend="wal")
+    if data_dir is None and config.store_backend != "memory":
+        raise RegistrationError(
+            f"store_backend={config.store_backend!r} needs --data-dir"
+        )
     group = PairingGroup(config.param_set)
     ara = RegistrationAuthority(group, config.schema)
     identities = {
@@ -102,6 +148,10 @@ def init_state(
     ara.install_service("rs", RS_NAME, rs_pke.public)
     ara.install_service("pbe_ts", PBE_TS_NAME, pbe_ts_pke.public)
     ara.install_service("anonymizer", ANON_NAME)
+    store_keys: dict[str, bytes] = {}
+    if data_dir is not None:
+        os.makedirs(data_dir, exist_ok=True)
+        store_keys = {role: os.urandom(32) for role in (RS_NAME, DS_NAME)}
     state = DeploymentState(
         host=host,
         ports={name: base_port + index for index, name in enumerate(SERVICE_ROLES)},
@@ -110,6 +160,8 @@ def init_state(
         identities=identities,
         rs_pke=rs_pke,
         pbe_ts_pke=pbe_ts_pke,
+        data_dir=data_dir,
+        store_keys=store_keys,
     )
     with open(path, "wb") as handle:
         pickle.dump(state, handle)
@@ -133,6 +185,7 @@ def build_service(role: str, state: DeploymentState):
             metadata_topic=state.config.metadata_topic,
             group=state.group,
             match_workers=state.config.match_workers,
+            store=state.open_store(DS_NAME),
         )
     if role == RS_NAME:
         return LiveRepositoryServer(
@@ -141,6 +194,7 @@ def build_service(role: str, state: DeploymentState):
             t_g=state.config.t_g,
             gc_interval_s=state.config.rs_gc_interval_s,
             pke=state.rs_pke,
+            engine=state.open_store(RS_NAME),
         )
     if role == PBE_TS_NAME:
         master_key, verify_key = state.ara.provision_pbe_ts()

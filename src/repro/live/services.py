@@ -51,6 +51,16 @@ from ..mq import messages as frames
 from ..mq.messages import JmsFrame
 from ..obs import profile as obs
 from ..par import MatchPool
+from ..store import MemoryEngine, StorageEngine
+from ..store.codec import (
+    NS_SUBS,
+    NS_TOKENS,
+    decode_sub_key,
+    decode_token,
+    encode_token,
+    sub_key,
+    token_key,
+)
 from .rpc import LiveRpcEndpoint
 from .telemetry import install_telemetry
 
@@ -60,6 +70,24 @@ __all__ = [
     "LivePBETokenServer",
     "LiveAnonymizationService",
 ]
+
+
+def _store_samples(engine: StorageEngine, recovered: int) -> list[dict]:
+    """Storage-engine counters, shared by the RS and DS metric snapshots."""
+    status = engine.status()
+    return [
+        {"name": "store.backend_durable", "labels": {"backend": engine.backend},
+         "value": int(engine.durable)},
+        {"name": "store.last_committed_lsn", "labels": {},
+         "value": status.get("last_committed_lsn", 0)},
+        {"name": "store.live_records", "labels": {},
+         "value": status.get("live_records", 0)},
+        {"name": "store.tombstones", "labels": {},
+         "value": status.get("tombstones", 0)},
+        {"name": "store.compactions", "labels": {},
+         "value": status.get("compactions", 0)},
+        {"name": "store.recovered", "labels": {}, "value": recovered},
+    ]
 
 
 class _LiveService:
@@ -111,6 +139,7 @@ class LiveDisseminationServer(_LiveService):
         metadata_topic: str = "p3s.metadata",
         group=None,
         match_workers: int | None = None,
+        store: StorageEngine | None = None,
     ):
         super().__init__(endpoint)
         self.rs_name = rs_name
@@ -120,6 +149,10 @@ class LiveDisseminationServer(_LiveService):
         self.subscriptions: dict[str, list[str]] = defaultdict(list)
         self.connected_clients: set[str] = set()
         self.registered_tokens: list[tuple[str, bytes]] = []
+        self.store = store if store is not None else MemoryEngine()
+        self.recovered_registrations = 0
+        if self.store.durable:
+            self.recovered_registrations = self._recover_registrations()
         self._match_pool: MatchPool | None = None
         self._message_ids = iter(range(1, 1 << 62))
         self.published_count = 0
@@ -143,11 +176,30 @@ class LiveDisseminationServer(_LiveService):
         topic = message.payload.topic
         if src not in self.subscriptions[topic]:
             self.subscriptions[topic].append(src)
+        self.store.put(NS_SUBS, sub_key(topic, src), b"")
 
     def _on_unsubscribe(self, src: str, message) -> None:
         topic = message.payload.topic
         if src in self.subscriptions[topic]:
             self.subscriptions[topic].remove(src)
+        self.store.delete(NS_SUBS, sub_key(topic, src))
+
+    def _recover_registrations(self) -> int:
+        """Reload the durable registries after a restart (same rules as
+        the simulator DS): recovered subscribers whose connections died
+        with the old process simply drop deliveries until they redial."""
+        recovered = 0
+        for _key, value in self.store.items(NS_TOKENS):
+            entry = decode_token(value)
+            if entry not in self.registered_tokens:
+                self.registered_tokens.append(entry)
+                recovered += 1
+        for key, _value in self.store.items(NS_SUBS):
+            topic, client = decode_sub_key(key)
+            if client not in self.subscriptions[topic]:
+                self.subscriptions[topic].append(client)
+                recovered += 1
+        return recovered
 
     def _on_ack(self, src: str, message) -> None:
         self.acked_count += 1
@@ -220,6 +272,9 @@ class LiveDisseminationServer(_LiveService):
         entry = (src, bytes(token_bytes))
         if entry not in self.registered_tokens:
             self.registered_tokens.append(entry)
+            self.store.put(
+                NS_TOKENS, token_key(src, entry[1]), encode_token(src, entry[1])
+            )
             obs.record_op("ds.token_reg")
             if self.group is not None:
                 # warm the worker pool now, not on the first publication —
@@ -232,6 +287,7 @@ class LiveDisseminationServer(_LiveService):
         entry = (src, bytes(token_bytes))
         if entry in self.registered_tokens:
             self.registered_tokens.remove(entry)
+            self.store.delete(NS_TOKENS, token_key(src, entry[1]))
             obs.record_op("ds.token_unreg")
 
     @property
@@ -279,6 +335,7 @@ class LiveDisseminationServer(_LiveService):
         checks["match_pool_warm"] = (
             not self.registered_tokens or self._match_pool is not None
         )
+        checks["store_recovered"] = self.store.healthy
         return checks
 
     def extra_metrics(self) -> list[dict]:
@@ -300,6 +357,7 @@ class LiveDisseminationServer(_LiveService):
                 },
             ]
         )
+        samples.extend(_store_samples(self.store, self.recovered_registrations))
         return samples
 
     async def close(self) -> None:
@@ -307,6 +365,7 @@ class LiveDisseminationServer(_LiveService):
             self._match_pool.close()
             self._match_pool = None
         await super().close()
+        self.store.close()
 
 
 class LiveRepositoryServer(_LiveService):
@@ -321,12 +380,13 @@ class LiveRepositoryServer(_LiveService):
         gc_interval_s: float = 10.0,
         clock: Callable[[], float] = time.monotonic,
         pke: PKEKeyPair | None = None,
+        engine: StorageEngine | None = None,
     ):
         super().__init__(endpoint)
         # injectable keypair: multi-process `repro live serve-rs` must use
         # the PKE key the shared deployment state installed in the directory
         self.pke = pke or PKEKeyPair(group)
-        self.store = RepositoryStore(t_g=t_g)
+        self.store = RepositoryStore(t_g=t_g, engine=engine)
         self.gc_interval_s = gc_interval_s
         self.clock = clock
         self.observed_sources: list[str] = []
@@ -368,13 +428,20 @@ class LiveRepositoryServer(_LiveService):
     async def _gc_loop(self) -> None:
         while True:
             await asyncio.sleep(self.gc_interval_s)
-            self.store.collect_garbage(now=self.clock())
+            self.store.collect_garbage(
+                now=self.clock(), compact=self.store.engine.durable
+            )
 
     def health_checks(self) -> dict[str, bool]:
         checks = super().health_checks()
         # readiness-meaningful alias: the GC loop is the RS's only
         # background task, and a dead GC means unbounded storage growth
         checks["gc_running"] = bool(self._tasks) and checks["background_tasks_alive"]
+        # recovery completes inside RepositoryStore.__init__ (before the
+        # listener exists), so an open engine has already replayed to its
+        # last committed record; the check only goes false if the engine
+        # later stops accepting writes
+        checks["store_recovered"] = self.store.engine.healthy
         return checks
 
     def extra_metrics(self) -> list[dict]:
@@ -383,9 +450,16 @@ class LiveRepositoryServer(_LiveService):
             [
                 {"name": "rs.stored_items", "labels": {}, "value": self.store.item_count},
                 {"name": "rs.expired", "labels": {}, "value": self.store.expired_count},
+                {"name": "rs.recovered_items", "labels": {},
+                 "value": self.store.recovered_count},
             ]
         )
+        samples.extend(_store_samples(self.store.engine, self.store.recovered_count))
         return samples
+
+    async def close(self) -> None:
+        await super().close()
+        self.store.close()
 
 
 class LivePBETokenServer(_LiveService):

@@ -1,0 +1,92 @@
+"""How P3S service state maps onto storage-engine records.
+
+Both substrates (the simulator services in :mod:`repro.core` and the
+asyncio TCP services in :mod:`repro.live`) persist through these
+codecs, so a store written by one is recoverable by the other.
+
+Namespaces:
+
+``items`` (the RS payload store)
+    key = GUID; value = ``stored_at f64 || expires_at f64 || ciphertext``.
+    The per-item request count is deliberately *not* persisted — it is
+    HBC-operator observability, not protocol state, and persisting it
+    would turn every read into a write.
+``tokens`` (the DS delegated-matching registry)
+    key = SHA-256 of ``subscriber || 0x00 || token``; value =
+    ``u16 name length || name || token bytes``.  Hashed keys keep the
+    (long) serialized token out of the record key's 64 KiB budget.
+``subs`` (the DS subscription table)
+    key = ``topic || 0x00 || client``; value = empty.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from ..errors import CorruptRecordError
+
+__all__ = [
+    "NS_ITEMS",
+    "NS_TOKENS",
+    "NS_SUBS",
+    "encode_item",
+    "decode_item",
+    "token_key",
+    "encode_token",
+    "decode_token",
+    "sub_key",
+    "decode_sub_key",
+]
+
+NS_ITEMS = "items"
+NS_TOKENS = "tokens"
+NS_SUBS = "subs"
+
+_ITEM_HEADER = struct.Struct(">dd")
+
+
+def encode_item(stored_at: float, expires_at: float, ciphertext: bytes) -> bytes:
+    return _ITEM_HEADER.pack(stored_at, expires_at) + ciphertext
+
+
+def decode_item(value: bytes) -> tuple[float, float, bytes]:
+    """Returns ``(stored_at, expires_at, ciphertext)``."""
+    try:
+        stored_at, expires_at = _ITEM_HEADER.unpack_from(value, 0)
+    except struct.error as exc:
+        raise CorruptRecordError(f"undecodable stored item: {exc}") from exc
+    return stored_at, expires_at, value[_ITEM_HEADER.size :]
+
+
+def token_key(subscriber: str, token: bytes) -> bytes:
+    return hashlib.sha256(subscriber.encode("utf-8") + b"\x00" + token).digest()
+
+
+def encode_token(subscriber: str, token: bytes) -> bytes:
+    name = subscriber.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise CorruptRecordError(f"subscriber name too long: {subscriber!r}")
+    return struct.pack(">H", len(name)) + name + token
+
+
+def decode_token(value: bytes) -> tuple[str, bytes]:
+    """Returns ``(subscriber, token_bytes)``."""
+    try:
+        (name_len,) = struct.unpack_from(">H", value, 0)
+        name = value[2 : 2 + name_len].decode("utf-8")
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise CorruptRecordError(f"undecodable token registration: {exc}") from exc
+    return name, value[2 + name_len :]
+
+
+def sub_key(topic: str, client: str) -> bytes:
+    return topic.encode("utf-8") + b"\x00" + client.encode("utf-8")
+
+
+def decode_sub_key(key: bytes) -> tuple[str, str]:
+    """Returns ``(topic, client)``."""
+    topic, sep, client = key.partition(b"\x00")
+    if not sep:
+        raise CorruptRecordError(f"undecodable subscription key {key!r}")
+    return topic.decode("utf-8"), client.decode("utf-8")

@@ -1,0 +1,157 @@
+"""Keyless store-file inspection — the engine under ``repro store inspect``.
+
+Operators debugging a deployment need to answer "what is in this store?"
+without the store key (which lives in the deployment state bundle, not
+on whatever box the files were copied to).  Record *framing* — LSNs,
+ops, namespaces, keys, counts — is deliberately left in the clear for
+exactly this reason; only values are sealed.
+
+:func:`inspect_store` sniffs the path (a directory with ``wal.log`` →
+WAL store; a file starting with the SQLite magic → SQLite store) and
+returns a plain dict: record counts, live/tombstone ratio, last
+committed LSN, snapshot coverage, and whether the log carries a torn
+tail that the next open would truncate.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+from ..errors import StorageError
+from .records import (
+    HEADER_LEN,
+    LOG_MAGIC,
+    SNAPSHOT_MAGIC,
+    decode_header,
+    iter_live,
+    scan_frames,
+)
+from .wal import LOG_NAME, SNAPSHOT_PREFIX, SNAPSHOT_SUFFIX
+
+__all__ = ["inspect_store", "format_inspection"]
+
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+def inspect_store(path: str) -> dict:
+    """Summarize one store (WAL directory or SQLite file) without a key."""
+    if os.path.isdir(path):
+        if not os.path.exists(os.path.join(path, LOG_NAME)):
+            raise StorageError(f"{path} is a directory but holds no {LOG_NAME}")
+        return _inspect_wal(path)
+    if os.path.isfile(path):
+        with open(path, "rb") as handle:
+            magic = handle.read(len(_SQLITE_MAGIC))
+        if magic == _SQLITE_MAGIC:
+            return _inspect_sqlite(path)
+        if magic[:8] == LOG_MAGIC or magic[:8] == SNAPSHOT_MAGIC:
+            raise StorageError(
+                f"{path} is a single WAL store file; inspect its directory instead"
+            )
+        raise StorageError(f"{path} is neither a WAL store directory nor a SQLite store")
+    raise StorageError(f"no store at {path}")
+
+
+def _inspect_wal(path: str) -> dict:
+    snapshots = []
+    for name in sorted(os.listdir(path)):
+        if name.startswith(SNAPSHOT_PREFIX) and name.endswith(SNAPSHOT_SUFFIX):
+            snapshots.append(os.path.join(path, name))
+    snapshot_lsn = 0
+    snapshot_records = []
+    snapshot_ok = True
+    if snapshots:
+        with open(snapshots[-1], "rb") as handle:
+            data = handle.read()
+        try:
+            _sealed, snapshot_lsn = decode_header(data, SNAPSHOT_MAGIC)
+            snapshot_records = scan_frames(data, start=HEADER_LEN, strict=True).records
+        except StorageError:
+            snapshot_ok = False
+    with open(os.path.join(path, LOG_NAME), "rb") as handle:
+        data = handle.read()
+    sealed, _base = decode_header(data, LOG_MAGIC)
+    log = scan_frames(data, start=HEADER_LEN, strict=False)
+    replayable = [r for r in log.records if r.lsn > snapshot_lsn]
+    tombstones = sum(1 for r in replayable if r.is_tombstone)
+    live = iter_live(iter(list(snapshot_records) + replayable))
+    lsns = [snapshot_lsn] + [r.lsn for r in replayable]
+    namespaces: dict[str, int] = {}
+    for namespace, _key in live:
+        namespaces[namespace] = namespaces.get(namespace, 0) + 1
+    total = len(snapshot_records) + len(replayable)
+    return {
+        "backend": "wal",
+        "path": path,
+        "sealed": sealed,
+        "last_committed_lsn": max(lsns),
+        "snapshot_lsn": snapshot_lsn,
+        "snapshot_ok": snapshot_ok,
+        "snapshot_records": len(snapshot_records),
+        "log_records": len(replayable),
+        "total_records": total,
+        "live_records": len(live),
+        "tombstones": tombstones,
+        "live_ratio": (len(live) / total) if total else 1.0,
+        "torn_tail_bytes": (len(data) - log.torn_at) if log.torn_at is not None else 0,
+        "namespaces": dict(sorted(namespaces.items())),
+    }
+
+
+def _inspect_sqlite(path: str) -> dict:
+    uri = f"file:{path}?mode=ro"
+    conn = sqlite3.connect(uri, uri=True)
+    try:
+        meta = dict(conn.execute("SELECT name, value FROM meta"))
+        namespaces = {
+            namespace: int(count)
+            for namespace, count in conn.execute(
+                "SELECT namespace, COUNT(*) FROM records GROUP BY namespace "
+                "ORDER BY namespace"
+            )
+        }
+    finally:
+        conn.close()
+    live = sum(namespaces.values())
+    appended = int(meta.get("appended", 0))
+    return {
+        "backend": "sqlite",
+        "path": path,
+        "last_committed_lsn": int(meta.get("last_lsn", 0)),
+        "total_records": appended,
+        "live_records": live,
+        "tombstones": int(meta.get("tombstones", 0)),
+        "live_ratio": (live / appended) if appended else 1.0,
+        "namespaces": namespaces,
+    }
+
+
+def format_inspection(report: dict) -> str:
+    """Human-readable rendering for the CLI."""
+    lines = [f"{report['backend']} store at {report['path']}"]
+    if report["backend"] == "wal":
+        lines.append(
+            f"  sealed values: {'yes' if report['sealed'] else 'no'}; "
+            f"snapshot lsn {report['snapshot_lsn']}"
+            + ("" if report["snapshot_ok"] else " (CORRUPT)")
+        )
+        lines.append(
+            f"  records: {report['snapshot_records']} snapshot "
+            f"+ {report['log_records']} log = {report['total_records']}"
+        )
+        if report["torn_tail_bytes"]:
+            lines.append(
+                f"  torn tail: {report['torn_tail_bytes']} bytes "
+                f"(next open truncates them)"
+            )
+    else:
+        lines.append(f"  records appended: {report['total_records']}")
+    lines.append(
+        f"  live: {report['live_records']}  tombstones: {report['tombstones']}  "
+        f"live ratio: {report['live_ratio']:.2f}"
+    )
+    lines.append(f"  last committed LSN: {report['last_committed_lsn']}")
+    for namespace, count in report["namespaces"].items():
+        lines.append(f"    {namespace}: {count} live")
+    return "\n".join(lines)

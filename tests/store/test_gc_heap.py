@@ -1,0 +1,75 @@
+"""Regression guard for the expiry min-heap: GC must not scan live items.
+
+Before the heap, ``collect_garbage`` walked every stored item on every
+sweep — O(n) per sweep even when nothing expired.  With the heap a sweep
+pops only entries whose deadline has passed (plus lazily-invalidated
+stale entries): O(expired · log n).  ``last_gc_examined`` counts the
+pops so this property is asserted, not assumed.
+"""
+
+from repro.core.messages import PayloadSubmission
+from repro.core.rs import RepositoryStore
+
+
+def submission(guid: bytes, ttl_s: float) -> PayloadSubmission:
+    return PayloadSubmission(guid=guid, ciphertext=b"ct", ttl_s=ttl_s)
+
+
+class TestGCHeap:
+    def test_sweep_examines_only_expired_entries(self):
+        store = RepositoryStore(t_g=0.0)
+        for index in range(5000):
+            store.store(submission(b"live-%04d" % index, ttl_s=10_000.0), now=0.0)
+        for index in range(5):
+            store.store(submission(b"dead-%04d" % index, ttl_s=1.0), now=0.0)
+        removed = store.collect_garbage(now=5.0)
+        assert removed == 5
+        assert store.expired_count == 5
+        # the sweep popped the 5 expired entries, not the 5000 live ones
+        assert store.last_gc_examined == 5
+        assert store.item_count == 5000
+
+    def test_idle_sweep_examines_nothing(self):
+        store = RepositoryStore(t_g=0.0)
+        for index in range(100):
+            store.store(submission(b"%02d" % index, ttl_s=1000.0), now=0.0)
+        assert store.collect_garbage(now=1.0) == 0
+        assert store.last_gc_examined == 0
+
+    def test_overwritten_guid_does_not_double_free(self):
+        """Re-storing a GUID leaves a stale heap entry; the sweep must
+        drop it lazily without deleting the fresher item."""
+        store = RepositoryStore(t_g=0.0)
+        store.store(submission(b"guid", ttl_s=1.0), now=0.0)     # expires at 1
+        store.store(submission(b"guid", ttl_s=1000.0), now=0.0)  # expires at 1000
+        removed = store.collect_garbage(now=5.0)
+        assert removed == 0
+        assert store.last_gc_examined == 1  # the stale entry, popped and skipped
+        assert store.holds(b"guid", now=5.0)
+        # and the real deadline still fires
+        assert store.collect_garbage(now=1001.0) == 1
+        assert not store.holds(b"guid", now=1001.0)
+
+    def test_repeated_sweeps_stay_cheap(self):
+        store = RepositoryStore(t_g=0.0)
+        for index in range(1000):
+            store.store(submission(b"%03d" % index, ttl_s=10_000.0), now=0.0)
+        total_examined = 0
+        for sweep in range(50):
+            store.collect_garbage(now=float(sweep))
+            total_examined += store.last_gc_examined
+        assert total_examined == 0  # 50 sweeps over 1000 live items: no work
+
+    def test_heap_rebuilt_on_recovery(self, tmp_path):
+        from repro.store import WalEngine
+
+        path = str(tmp_path / "rs")
+        store = RepositoryStore(t_g=0.0, engine=WalEngine(path))
+        store.store(submission(b"soon", ttl_s=1.0), now=0.0)
+        store.store(submission(b"late", ttl_s=1000.0), now=0.0)
+        store.close()
+        recovered = RepositoryStore(t_g=0.0, engine=WalEngine(path))
+        assert recovered.collect_garbage(now=5.0) == 1
+        assert recovered.last_gc_examined == 1
+        assert recovered.holds(b"late", now=5.0)
+        recovered.close()

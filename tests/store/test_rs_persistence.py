@@ -1,0 +1,101 @@
+"""RepositoryStore over durable engines: recovery, GC, verified deletion."""
+
+import os
+
+import pytest
+
+from repro.core.messages import PayloadSubmission
+from repro.core.rs import RepositoryStore
+from repro.store import SqliteEngine, WalEngine
+
+KEY = bytes(range(64, 96))
+
+
+def open_engine_at(backend: str, root: str, key=None):
+    if backend == "wal":
+        return WalEngine(os.path.join(root, "rs"), key=key)
+    return SqliteEngine(os.path.join(root, "rs.db"), key=key)
+
+
+def store_bytes(backend: str, root: str) -> bytes:
+    blob = b""
+    if backend == "wal":
+        directory = os.path.join(root, "rs")
+        for name in sorted(os.listdir(directory)):
+            with open(os.path.join(directory, name), "rb") as handle:
+                blob += handle.read()
+    else:
+        with open(os.path.join(root, "rs.db"), "rb") as handle:
+            blob += handle.read()
+    return blob
+
+
+def submission(guid: bytes, ciphertext: bytes, ttl_s: float = 100.0):
+    return PayloadSubmission(guid=guid, ciphertext=ciphertext, ttl_s=ttl_s)
+
+
+@pytest.mark.parametrize("backend", ["wal", "sqlite"])
+class TestRecovery:
+    def test_items_survive_reopen_with_ttl_intact(self, tmp_path, backend):
+        root = str(tmp_path)
+        store = RepositoryStore(t_g=10.0, engine=open_engine_at(backend, root))
+        store.store(submission(b"guid-1", b"ciphertext-one"), now=5.0)
+        store.store(submission(b"guid-2", b"ciphertext-two", ttl_s=1.0), now=5.0)
+        store.close()
+
+        recovered = RepositoryStore(t_g=10.0, engine=open_engine_at(backend, root))
+        assert recovered.recovered_count == 2
+        assert recovered.lookup(b"guid-1", now=6.0)[1] == "hit"
+        # expiry clocks carried over: guid-2 dies at 5 + 1 + 10 = 16
+        assert recovered.holds(b"guid-2", now=15.9)
+        assert not recovered.holds(b"guid-2", now=16.0)
+        recovered.close()
+
+    def test_gc_tombstones_then_compaction_scrubs_ciphertext(self, tmp_path, backend):
+        root = str(tmp_path)
+        secret = b"EXPIRED-PAYLOAD-CIPHERTEXT-BYTES"
+        store = RepositoryStore(t_g=0.0, engine=open_engine_at(backend, root))
+        store.store(submission(b"doomed", secret, ttl_s=1.0), now=0.0)
+        store.store(submission(b"alive", b"fresh-bytes", ttl_s=500.0), now=0.0)
+        assert store.collect_garbage(now=2.0, compact=True) == 1
+        store.close()
+        # §4.3 deletion, verified: the expired ciphertext is in NO store file
+        assert secret not in store_bytes(backend, root)
+        assert b"fresh-bytes" in store_bytes(backend, root) or backend == "wal"
+
+        recovered = RepositoryStore(t_g=0.0, engine=open_engine_at(backend, root))
+        assert recovered.recovered_count == 1  # no resurrection
+        assert not recovered.holds(b"doomed", now=2.0)
+        assert recovered.holds(b"alive", now=2.0)
+        recovered.close()
+
+    def test_sealed_rs_ciphertext_never_in_the_clear_on_disk(self, tmp_path, backend):
+        root = str(tmp_path)
+        payload = b"CPABE-CIPHERTEXT-AT-REST"
+        store = RepositoryStore(engine=open_engine_at(backend, root, key=KEY))
+        store.store(submission(b"guid", payload), now=0.0)
+        store.close()
+        assert payload not in store_bytes(backend, root)
+        recovered = RepositoryStore(engine=open_engine_at(backend, root, key=KEY))
+        assert recovered.lookup(b"guid", now=1.0)[0][1:] == payload
+        recovered.close()
+
+    def test_request_counts_are_not_protocol_state(self, tmp_path, backend):
+        root = str(tmp_path)
+        store = RepositoryStore(engine=open_engine_at(backend, root))
+        store.store(submission(b"guid", b"ct"), now=0.0)
+        store.lookup(b"guid", now=1.0)
+        assert store.request_count(b"guid") == 1
+        store.close()
+        recovered = RepositoryStore(engine=open_engine_at(backend, root))
+        assert recovered.request_count(b"guid") == 0  # observability resets
+        recovered.close()
+
+
+class TestMemoryEngineUnchanged:
+    def test_default_store_is_volatile_and_recovers_nothing(self):
+        store = RepositoryStore()
+        store.store(submission(b"guid", b"ct"), now=0.0)
+        assert store.engine.backend == "memory"
+        assert store.recovered_count == 0
+        assert not store.engine.durable

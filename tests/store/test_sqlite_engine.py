@@ -1,0 +1,84 @@
+"""SQLite backend: roundtrip, secure deletion, keyless inspection."""
+
+import pytest
+
+from repro.store import SqliteEngine, inspect_store
+
+KEY = bytes(range(32, 64))
+
+
+def db_bytes(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class TestRoundtrip:
+    def test_put_get_delete_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        with SqliteEngine(path) as engine:
+            engine.put("items", b"a", b"alpha")
+            engine.put("items", b"b", b"beta")
+            engine.delete("items", b"a")
+            assert engine.last_lsn == 3
+        with SqliteEngine(path) as engine:
+            assert engine.get("items", b"a") is None
+            assert engine.get("items", b"b") == b"beta"
+            assert engine.last_lsn == 3
+
+    def test_last_writer_wins(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        with SqliteEngine(path) as engine:
+            engine.put("items", b"k", b"old")
+            engine.put("items", b"k", b"new")
+        with SqliteEngine(path) as engine:
+            assert engine.get("items", b"k") == b"new"
+            assert engine.count("items") == 1
+
+    def test_namespaces_are_disjoint(self, tmp_path):
+        with SqliteEngine(str(tmp_path / "store.db")) as engine:
+            engine.put("items", b"k", b"item")
+            engine.put("subs", b"k", b"sub")
+            assert engine.get("items", b"k") == b"item"
+            assert engine.get("subs", b"k") == b"sub"
+
+
+class TestVerifiedDeletion:
+    def test_compaction_scrubs_deleted_values_from_the_file(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        secret = b"EXPIRED-CIPHERTEXT-MUST-NOT-SURVIVE"
+        with SqliteEngine(path) as engine:
+            engine.put("items", b"doomed", secret)
+            engine.put("items", b"kept", b"still-live")
+            engine.delete("items", b"doomed")
+            engine.compact()  # VACUUM on top of secure_delete
+            assert engine.get("items", b"kept") == b"still-live"
+        assert secret not in db_bytes(path)
+        with SqliteEngine(path) as engine:
+            assert engine.get("items", b"doomed") is None
+
+    def test_sealed_values_never_touch_disk_in_the_clear(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        plaintext = b"THE-PAYLOAD-CIPHERTEXT"
+        with SqliteEngine(path, key=KEY) as engine:
+            engine.put("items", b"g", plaintext)
+        assert plaintext not in db_bytes(path)
+        with SqliteEngine(path, key=KEY) as engine:
+            assert engine.get("items", b"g") == plaintext
+
+
+class TestInspect:
+    def test_inspect_reports_counts_without_key(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        with SqliteEngine(path, key=KEY) as engine:
+            engine.put("items", b"a", b"v1")
+            engine.put("items", b"b", b"v2")
+            engine.delete("items", b"a")
+            engine.put("subs", b"t\x00alice", b"")
+        report = inspect_store(path)
+        assert report["backend"] == "sqlite"
+        assert report["last_committed_lsn"] == 4
+        assert report["live_records"] == 2
+        assert report["tombstones"] == 1
+        assert report["total_records"] == 4
+        assert report["live_ratio"] == pytest.approx(0.5)
+        assert report["namespaces"] == {"items": 1, "subs": 1}
