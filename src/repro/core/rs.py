@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import heapq
 import json
+import time
 from dataclasses import dataclass
+from typing import Callable
 
 from ..crypto.pke import PKEKeyPair
 from ..crypto.group import PairingGroup
@@ -113,27 +115,60 @@ class RepositoryStore:
     (``last_gc_examined`` counts heap pops for the regression test).
     Entries whose item was overwritten with a different expiry are
     dropped lazily when popped.
+
+    Clock epochs: persisted ``stored_at``/``expires_at`` are readings of
+    the *storing* process's service clock, and that epoch dies with a
+    reboot (``time.monotonic`` restarts at boot) or a new simulator run.
+    Pass ``now`` — the recovering service's current clock reading — to
+    rebase every recovered expiry onto the live epoch using the
+    wall-clock timestamp persisted alongside each item; the live RS
+    always does.  ``now=None`` trusts the persisted epoch verbatim,
+    which is only correct when the clock never reset across the
+    restart (the simulator's virtual clock within one run, or tests
+    that drive ``now`` explicitly).
     """
 
-    def __init__(self, t_g: float = 60.0, engine: StorageEngine | None = None):
+    def __init__(
+        self,
+        t_g: float = 60.0,
+        engine: StorageEngine | None = None,
+        now: float | None = None,
+        wall_clock: Callable[[], float] = time.time,
+    ):
         self.t_g = t_g
         self.engine = engine if engine is not None else MemoryEngine()
+        self._wall_clock = wall_clock
         self._items: dict[bytes, _StoredItem] = {}
         self._expiry_heap: list[tuple[float, bytes]] = []
         self.stored_count = 0
         self.expired_count = 0
         self.failed_retrievals = 0
         self.last_gc_examined = 0
-        self.recovered_count = self._recover()
+        self.recovered_count = self._recover(now)
 
-    def _recover(self) -> int:
+    def _recover(self, now: float | None) -> int:
         """Rebuild the in-memory index from whatever the engine holds.
+
+        With ``now`` given, each item's clocks are rebased: real time
+        elapsed since the item was stored is measured on the wall clock
+        (whose epoch survives reboots), and the expiry becomes
+        ``now + (ttl_total - elapsed)`` — already in the past when the
+        item outlived its TTL while the service was down, so the first
+        GC sweep deletes it.  Without rebasing, a dead persisted epoch
+        (e.g. pre-reboot ``time.monotonic`` readings) could compare
+        above the new clock indefinitely and GC would never fire.
 
         Request counts start at zero: they are operator observability,
         not committed protocol state (see :mod:`repro.store.codec`).
         """
+        wall_now = self._wall_clock()
         for guid, value in self.engine.items(NS_ITEMS):
-            stored_at, expires_at, ciphertext = decode_item(value)
+            stored_at, expires_at, wall_stored_at, ciphertext = decode_item(value)
+            if now is not None:
+                elapsed = max(0.0, wall_now - wall_stored_at)
+                ttl_total = expires_at - stored_at
+                stored_at = now - elapsed
+                expires_at = stored_at + ttl_total
             self._items[guid] = _StoredItem(
                 ciphertext=ciphertext, stored_at=stored_at, expires_at=expires_at
             )
@@ -149,7 +184,9 @@ class RepositoryStore:
         )
         heapq.heappush(self._expiry_heap, (expires_at, submission.guid))
         self.engine.put(
-            NS_ITEMS, submission.guid, encode_item(now, expires_at, submission.ciphertext)
+            NS_ITEMS,
+            submission.guid,
+            encode_item(now, expires_at, self._wall_clock(), submission.ciphertext),
         )
         self.stored_count += 1
 

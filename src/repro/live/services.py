@@ -150,10 +150,17 @@ class LiveDisseminationServer(_LiveService):
         self.connected_clients: set[str] = set()
         self.registered_tokens: list[tuple[str, bytes]] = []
         self.store = store if store is not None else MemoryEngine()
+        self._match_pool: MatchPool | None = None
         self.recovered_registrations = 0
         if self.store.durable:
             self.recovered_registrations = self._recover_registrations()
-        self._match_pool: MatchPool | None = None
+            if self.registered_tokens and self.group is not None:
+                # same rule as _register_token: recovered tokens mean the
+                # DS is already committed to delegated matching, and
+                # readiness (`match_pool_warm`) must not wait for the
+                # first publication to lazily fork the pool — a
+                # readiness-gated deployment would never send one
+                self.match_pool
         self._message_ids = iter(range(1, 1 << 62))
         self.published_count = 0
         self.delivered_count = 0
@@ -386,9 +393,12 @@ class LiveRepositoryServer(_LiveService):
         # injectable keypair: multi-process `repro live serve-rs` must use
         # the PKE key the shared deployment state installed in the directory
         self.pke = pke or PKEKeyPair(group)
-        self.store = RepositoryStore(t_g=t_g, engine=engine)
         self.gc_interval_s = gc_interval_s
         self.clock = clock
+        # now=clock(): recovered items' expiries must be rebased onto
+        # *this* process's clock epoch — the persisted readings came from
+        # a clock (time.monotonic) whose epoch died with the old boot
+        self.store = RepositoryStore(t_g=t_g, engine=engine, now=clock())
         self.observed_sources: list[str] = []
         endpoint.serve(RPC_STORE, self._handle_store)
         endpoint.serve(RPC_RETRIEVE, self._handle_retrieve)

@@ -22,7 +22,14 @@ protocol, and the deletion/compaction guarantees.
 
 from .codec import NS_ITEMS, NS_SUBS, NS_TOKENS
 from .engine import BACKENDS, MemoryEngine, StorageEngine, open_engine
-from .faults import CRASH_POINTS, FaultPlan, SimulatedCrash, corrupt_crc, tear_tail
+from .faults import (
+    CRASH_POINTS,
+    FaultPlan,
+    SimulatedCrash,
+    corrupt_crc,
+    corrupt_length,
+    tear_tail,
+)
 from .inspect import format_inspection, inspect_store
 from .records import Record
 from .sqlite import SqliteEngine
@@ -43,6 +50,7 @@ __all__ = [
     "StorageEngine",
     "WalEngine",
     "corrupt_crc",
+    "corrupt_length",
     "format_inspection",
     "inspect_store",
     "open_engine",

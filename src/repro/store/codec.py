@@ -7,10 +7,19 @@ codecs, so a store written by one is recoverable by the other.
 Namespaces:
 
 ``items`` (the RS payload store)
-    key = GUID; value = ``stored_at f64 || expires_at f64 || ciphertext``.
-    The per-item request count is deliberately *not* persisted — it is
-    HBC-operator observability, not protocol state, and persisting it
-    would turn every read into a write.
+    key = GUID; value = ``stored_at f64 || expires_at f64 ||
+    wall_stored_at f64 || ciphertext``.  ``stored_at``/``expires_at``
+    are readings of the storing service's own clock (``sim.now`` in the
+    simulator, ``time.monotonic`` on the live substrate) — an epoch that
+    does **not** survive a reboot or a new simulator run.
+    ``wall_stored_at`` is ``time.time()`` at store time: recovery uses
+    it to measure real elapsed time and rebase the remaining TTL onto
+    the recovering service's clock, so GC still fires on schedule when
+    the persisted epoch is dead (see
+    :meth:`~repro.core.rs.RepositoryStore._recover`).  The per-item
+    request count is deliberately *not* persisted — it is HBC-operator
+    observability, not protocol state, and persisting it would turn
+    every read into a write.
 ``tokens`` (the DS delegated-matching registry)
     key = SHA-256 of ``subscriber || 0x00 || token``; value =
     ``u16 name length || name || token bytes``.  Hashed keys keep the
@@ -43,20 +52,22 @@ NS_ITEMS = "items"
 NS_TOKENS = "tokens"
 NS_SUBS = "subs"
 
-_ITEM_HEADER = struct.Struct(">dd")
+_ITEM_HEADER = struct.Struct(">ddd")
 
 
-def encode_item(stored_at: float, expires_at: float, ciphertext: bytes) -> bytes:
-    return _ITEM_HEADER.pack(stored_at, expires_at) + ciphertext
+def encode_item(
+    stored_at: float, expires_at: float, wall_stored_at: float, ciphertext: bytes
+) -> bytes:
+    return _ITEM_HEADER.pack(stored_at, expires_at, wall_stored_at) + ciphertext
 
 
-def decode_item(value: bytes) -> tuple[float, float, bytes]:
-    """Returns ``(stored_at, expires_at, ciphertext)``."""
+def decode_item(value: bytes) -> tuple[float, float, float, bytes]:
+    """Returns ``(stored_at, expires_at, wall_stored_at, ciphertext)``."""
     try:
-        stored_at, expires_at = _ITEM_HEADER.unpack_from(value, 0)
+        stored_at, expires_at, wall_stored_at = _ITEM_HEADER.unpack_from(value, 0)
     except struct.error as exc:
         raise CorruptRecordError(f"undecodable stored item: {exc}") from exc
-    return stored_at, expires_at, value[_ITEM_HEADER.size :]
+    return stored_at, expires_at, wall_stored_at, value[_ITEM_HEADER.size :]
 
 
 def token_key(subscriber: str, token: bytes) -> bytes:

@@ -47,6 +47,7 @@ __all__ = [
     "CRASH_POINTS",
     "tear_tail",
     "corrupt_crc",
+    "corrupt_length",
 ]
 
 CRASH_POINTS = (
@@ -115,15 +116,9 @@ def tear_tail(path: str, drop_bytes: int) -> None:
         handle.truncate(size - drop_bytes)
 
 
-def corrupt_crc(path: str, record_index: int = -1) -> None:
-    """Flip a bit in the payload of one record so its CRC check fails.
-
-    ``record_index`` counts valid frames from the file start (negative
-    indexes from the end, ``-1`` = last record).
-    """
-    with open(path, "rb") as handle:
-        data = handle.read()
-    offsets: list[tuple[int, int]] = []  # (payload_offset, length)
+def _frame_offsets(path: str, data: bytes) -> list[tuple[int, int, int]]:
+    """(frame_start, payload_offset, length) of every intact frame."""
+    offsets: list[tuple[int, int, int]] = []
     offset = HEADER_LEN
     prefix = struct.Struct(">II")
     while offset + prefix.size <= len(data):
@@ -133,11 +128,41 @@ def corrupt_crc(path: str, record_index: int = -1) -> None:
             break
         if zlib.crc32(data[payload_at : payload_at + length]) != crc:
             break
-        offsets.append((payload_at, length))
+        offsets.append((offset, payload_at, length))
         offset = payload_at + length
     if not offsets:
         raise StorageError(f"{path} holds no intact records to corrupt")
-    payload_at, length = offsets[record_index]
+    return offsets
+
+
+def corrupt_crc(path: str, record_index: int = -1) -> None:
+    """Flip a bit in the payload of one record so its CRC check fails.
+
+    ``record_index`` counts valid frames from the file start (negative
+    indexes from the end, ``-1`` = last record).
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    _start, payload_at, _length = _frame_offsets(path, data)[record_index]
     flipped = data[:payload_at] + bytes((data[payload_at] ^ 0x80,)) + data[payload_at + 1 :]
     with open(path, "wb") as handle:
         handle.write(flipped)
+
+
+def corrupt_length(path: str, record_index: int = -1, new_length: int = 0xFFFFFFF0) -> None:
+    """Overwrite one record's length prefix with a garbage value.
+
+    This is damage a torn append cannot produce — a tear leaves a prefix
+    of a frame a writer actually emitted, so any length field it leaves
+    behind is a real (bounded) record length.  Recovery must treat an
+    implausible length as corruption, never as a tear, or one flipped
+    byte could silently swallow every committed record after it.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    frame_start, _payload_at, _length = _frame_offsets(path, data)[record_index]
+    damaged = (
+        data[:frame_start] + struct.pack(">I", new_length) + data[frame_start + 4 :]
+    )
+    with open(path, "wb") as handle:
+        handle.write(damaged)

@@ -28,6 +28,14 @@ A frame that fails its length or CRC check at the end of a log is a
 truncates it.  The same failure *before* the end of the file means the
 file was damaged after the fact, and decoding raises
 :class:`~repro.errors.CorruptRecordError` instead of guessing.
+
+Frames are bounded by :data:`MAX_RECORD_LEN` (writers refuse anything
+larger), which lets the scanner tell the two cases apart even when the
+*length prefix itself* is the damaged field: a torn append writes a
+prefix of a real frame, so any length it leaves on disk is a length a
+writer actually produced — an implausibly large one can only be
+corruption, and treating it as a tear would silently swallow every
+committed record between it and EOF.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ from ..errors import CorruptRecordError, IntegrityError
 __all__ = [
     "OP_PUT",
     "OP_TOMBSTONE",
+    "MAX_RECORD_LEN",
     "LOG_MAGIC",
     "SNAPSHOT_MAGIC",
     "Record",
@@ -59,6 +68,12 @@ __all__ = [
 
 OP_PUT = 1
 OP_TOMBSTONE = 2
+
+# Upper bound on one frame's payload, enforced at encode time.  Far above
+# any real P3S record (items are single publication ciphertexts), it
+# exists so the recovery scanner can reject a damaged length prefix as
+# corruption instead of mistaking it for a torn tail.
+MAX_RECORD_LEN = 64 * 1024 * 1024
 
 # 8-byte magic + u8 flags + u64 base LSN
 LOG_MAGIC = b"P3SWAL1\n"
@@ -124,6 +139,11 @@ def encode_record(
         raise CorruptRecordError(f"namespace too long: {namespace!r}")
     if len(key) > 0xFFFF:
         raise CorruptRecordError(f"key too long: {len(key)} bytes")
+    if len(value) > MAX_RECORD_LEN - 64:  # leave room for the fixed fields
+        raise CorruptRecordError(
+            f"value too long: {len(value)} bytes (records are bounded by "
+            f"MAX_RECORD_LEN={MAX_RECORD_LEN} so recovery can vet length prefixes)"
+        )
     payload = b"".join(
         (
             _PAYLOAD_FIXED.pack(lsn, op),
@@ -183,7 +203,11 @@ def scan_frames(data: bytes, start: int, *, strict: bool) -> ScanResult:
     ``strict=False`` (the log) treats a bad *final* region as the torn
     tail of a crashed append and reports where it starts.  A bad frame
     with further bytes beyond its declared extent is corruption either
-    way — a torn append can only damage the end of the file.
+    way — a torn append can only damage the end of the file.  So is a
+    length prefix above :data:`MAX_RECORD_LEN`: writers never produce
+    such a frame, so a torn append cannot leave one behind, and
+    honouring it as a tear would let a single flipped length byte
+    swallow every committed record after it.
     """
     records: list[Record] = []
     offset = start
@@ -194,6 +218,12 @@ def scan_frames(data: bytes, start: int, *, strict: bool) -> ScanResult:
             return _torn(records, frame_start, end, strict, "truncated frame prefix")
         length, crc = _FRAME_PREFIX.unpack_from(data, offset)
         offset += _FRAME_PREFIX.size
+        if length > MAX_RECORD_LEN:
+            raise CorruptRecordError(
+                f"frame at offset {frame_start} declares an implausible "
+                f"{length}-byte payload (> MAX_RECORD_LEN={MAX_RECORD_LEN}) "
+                f"— damaged length prefix, not a torn append"
+            )
         if offset + length > end:
             return _torn(records, frame_start, end, strict, "truncated frame payload")
         payload = data[offset : offset + length]

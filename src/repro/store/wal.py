@@ -12,10 +12,18 @@ returned is a *committed* record and survives ``kill -9``.
 
 **Recovery** (:meth:`WalEngine._recover`) rebuilds the live map as:
 
-1. load the newest snapshot that parses cleanly (older ones and
-   ``*.tmp`` leftovers are ignored — a crash mid-snapshot leaves either
-   no new file or a complete one, thanks to write-temp-then-rename);
-2. replay log records with ``lsn > snapshot_lsn`` in order;
+1. load the newest snapshot that parses cleanly — a corrupt newer
+   snapshot is skipped (counted in ``RecoveryInfo.snapshots_skipped``)
+   and the next-newest is tried; ``*.tmp`` leftovers are ignored, since
+   a crash mid-snapshot leaves either no new file or a complete one,
+   thanks to write-temp-then-rename;
+2. replay log records with ``lsn > snapshot_lsn`` in order.  The log
+   header's ``base_lsn`` must not exceed the loaded snapshot's LSN:
+   once compaction has truncated the log past a snapshot, that
+   snapshot no longer combines with the log into a complete state, and
+   recovering from it would silently drop the gap — that (e.g. the
+   only remaining snapshot being corrupt after the log was truncated
+   to it) raises :class:`~repro.errors.RecoveryError` instead;
 3. if the log ends in a torn record — the residue of a crash
    mid-append — truncate it off and continue; a bad record *followed by
    more data* is real corruption and raises
@@ -75,10 +83,11 @@ class RecoveryInfo:
     torn_bytes: int
     live_records: int
     last_committed_lsn: int
+    snapshots_skipped: int = 0
 
     @property
     def clean(self) -> bool:
-        return self.torn_bytes == 0
+        return self.torn_bytes == 0 and self.snapshots_skipped == 0
 
 
 def snapshot_name(lsn: int) -> str:
@@ -152,7 +161,7 @@ class WalEngine(StorageEngine):
     # -- recovery ------------------------------------------------------------
 
     def _recover(self) -> RecoveryInfo:
-        snapshot_lsn, records = self._load_latest_snapshot()
+        snapshot_lsn, records, snapshots_skipped = self._load_latest_snapshot()
         log_records, torn_bytes = self._replay_log(snapshot_lsn, records)
         live = iter_live(iter(records))
         for (namespace, key), record in live.items():
@@ -168,24 +177,38 @@ class WalEngine(StorageEngine):
             torn_bytes=torn_bytes,
             live_records=sum(len(entries) for entries in self._live.values()),
             last_committed_lsn=self._lsn,
+            snapshots_skipped=snapshots_skipped,
         )
 
-    def _load_latest_snapshot(self) -> tuple[int, list]:
+    def _load_latest_snapshot(self) -> tuple[int, list, int]:
+        """The newest snapshot that parses cleanly, as
+        ``(lsn, records, skipped)``.
+
+        A corrupt snapshot is skipped in favour of the next-newest —
+        whether the older state plus the log still amounts to the full
+        committed state is checked against the log's ``base_lsn`` in
+        :meth:`_replay_log`, so skipping here never silently loses
+        records.  A sealing-flag mismatch stays fatal: that is an
+        engine/file configuration conflict, not file damage.
+        """
+        skipped = 0
         for lsn, path in self._snapshot_files():
             with open(path, "rb") as handle:
                 data = handle.read()
             try:
                 sealed, base_lsn = decode_header(data, SNAPSHOT_MAGIC)
                 result = scan_frames(data, start=HEADER_LEN, strict=True)
-            except CorruptRecordError as exc:
-                raise RecoveryError(f"snapshot {path} is corrupt: {exc}") from exc
+            except CorruptRecordError:
+                skipped += 1
+                obs.record_op("store.snapshot_skipped")
+                continue
             if sealed != self._sealed:
                 raise RecoveryError(
                     f"snapshot {path} sealing flag mismatches the engine "
                     f"(file sealed={sealed}, engine sealed={self._sealed})"
                 )
-            return base_lsn, list(result.records)
-        return 0, []
+            return base_lsn, list(result.records), skipped
+        return 0, [], skipped
 
     def _replay_log(self, snapshot_lsn: int, records: list) -> tuple[int, int]:
         """Append post-snapshot log records onto ``records`` in place."""
@@ -194,10 +217,20 @@ class WalEngine(StorageEngine):
             return 0, 0
         with open(self._log_path, "rb") as handle:
             data = handle.read()
-        sealed, _base = decode_header(data, LOG_MAGIC)
+        sealed, base = decode_header(data, LOG_MAGIC)
         if sealed != self._sealed:
             raise RecoveryError(
                 f"log {self._log_path} sealing flag mismatches the engine"
+            )
+        if base > snapshot_lsn:
+            # the log was truncated past every usable snapshot (e.g. the
+            # one snapshot covering it is corrupt): the gap between the
+            # recovered snapshot and the log's base is gone from disk,
+            # and pretending otherwise would resurrect a partial state
+            raise RecoveryError(
+                f"log {self._log_path} starts at lsn {base} but the newest "
+                f"readable snapshot covers only lsn {snapshot_lsn}: committed "
+                f"records in between are unrecoverable"
             )
         result = scan_frames(data, start=HEADER_LEN, strict=False)
         replayed = 0
@@ -383,6 +416,7 @@ class WalEngine(StorageEngine):
                 "log_records_replayed": self.recovery.log_records_replayed,
                 "torn_bytes": self.recovery.torn_bytes,
                 "live_records": self.recovery.live_records,
+                "snapshots_skipped": self.recovery.snapshots_skipped,
                 "clean": self.recovery.clean,
             },
             "namespaces": {

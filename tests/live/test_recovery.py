@@ -1,0 +1,65 @@
+"""Live-service restart recovery: readiness must not depend on traffic.
+
+A restarted DS that recovered delegated-matching tokens from its durable
+store reports ``match_pool_warm`` in its health checks.  The pool must
+therefore be forked during recovery, not lazily on the first
+publication: a readiness-gated deployment routes no traffic to a
+not-ready DS, so a lazily-warmed pool would never warm and the service
+would wedge as not-ready forever.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.live.rpc import AddressBook, LiveRpcEndpoint
+from repro.live.services import LiveDisseminationServer
+from repro.store import WalEngine
+from repro.store.codec import NS_TOKENS, encode_token, token_key
+
+from .conftest import run_async
+
+pytestmark = pytest.mark.live
+
+
+class TestRecoveredRegistrationsWarmPool:
+    def test_restarted_ds_is_ready_before_any_publication(self, tmp_path, group):
+        path = str(tmp_path / "ds")
+        # a previous DS process registered one delegated-matching token
+        with WalEngine(path) as engine:
+            engine.put(
+                NS_TOKENS, token_key("alice", b"tok"), encode_token("alice", b"tok")
+            )
+
+        ds = LiveDisseminationServer(
+            LiveRpcEndpoint("ds", AddressBook()),
+            "rs",
+            group=group,
+            match_workers=1,
+            store=WalEngine(path),
+        )
+        try:
+            assert ds.recovered_registrations == 1
+            # the pool was warmed during recovery, so readiness holds
+            # with zero publications processed
+            assert ds._match_pool is not None
+            assert ds.health_checks()["match_pool_warm"]
+        finally:
+            run_async(ds.close())
+
+    def test_recovery_without_tokens_does_not_fork_a_pool(self, tmp_path, group):
+        path = str(tmp_path / "ds")
+        WalEngine(path).close()  # durable but empty store
+        ds = LiveDisseminationServer(
+            LiveRpcEndpoint("ds", AddressBook()),
+            "rs",
+            group=group,
+            match_workers=1,
+            store=WalEngine(path),
+        )
+        try:
+            assert ds.recovered_registrations == 0
+            assert ds._match_pool is None  # no tokens -> nothing to warm
+            assert ds.health_checks()["match_pool_warm"]
+        finally:
+            run_async(ds.close())

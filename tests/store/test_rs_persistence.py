@@ -92,6 +92,79 @@ class TestRecovery:
         recovered.close()
 
 
+@pytest.mark.parametrize("backend", ["wal", "sqlite"])
+class TestClockEpochRebase:
+    """Persisted expiries come from the storing process's clock
+    (time.monotonic live), whose epoch dies with a reboot.  Recovery with
+    ``now`` rebases each item onto the live clock via the wall-clock
+    timestamp persisted alongside it, so the §4.3 TTL guarantee holds
+    across reboots, not just same-boot restarts."""
+
+    def test_reboot_dead_epoch_items_still_expire_on_schedule(self, tmp_path, backend):
+        root = str(tmp_path)
+        # previous boot: monotonic clock deep into its epoch
+        store = RepositoryStore(
+            t_g=5.0,
+            engine=open_engine_at(backend, root),
+            wall_clock=lambda: 1_000_000.0,
+        )
+        store.store(submission(b"guid", b"ct", ttl_s=10.0), now=98_765.0)
+        store.close()
+        # after reboot: monotonic restarted near zero, and an hour of
+        # real time passed — far beyond TTL_item + T_G = 15 s.  Without
+        # the rebase, expires_at=98_780 from the dead epoch would compare
+        # above the new clock for ~27 hours and GC would retain the
+        # expired ciphertext the whole time.
+        recovered = RepositoryStore(
+            t_g=5.0,
+            engine=open_engine_at(backend, root),
+            now=3.0,
+            wall_clock=lambda: 1_003_600.0,
+        )
+        assert recovered.recovered_count == 1
+        assert not recovered.holds(b"guid", now=3.0)
+        assert recovered.collect_garbage(now=3.0) == 1
+        recovered.close()
+
+    def test_same_boot_restart_preserves_remaining_ttl(self, tmp_path, backend):
+        root = str(tmp_path)
+        store = RepositoryStore(
+            t_g=5.0, engine=open_engine_at(backend, root), wall_clock=lambda: 500.0
+        )
+        store.store(submission(b"guid", b"ct", ttl_s=10.0), now=100.0)
+        store.close()
+        # 4 real seconds later, same clock epoch: rebasing reproduces the
+        # original schedule (item still dies at 100 + 10 + 5 = 115)
+        recovered = RepositoryStore(
+            t_g=5.0,
+            engine=open_engine_at(backend, root),
+            now=104.0,
+            wall_clock=lambda: 504.0,
+        )
+        assert recovered.holds(b"guid", now=114.9)
+        assert not recovered.holds(b"guid", now=115.0)
+        recovered.close()
+
+    def test_backward_wall_clock_jump_never_extends_ttl(self, tmp_path, backend):
+        root = str(tmp_path)
+        store = RepositoryStore(
+            t_g=0.0, engine=open_engine_at(backend, root), wall_clock=lambda: 900.0
+        )
+        store.store(submission(b"guid", b"ct", ttl_s=10.0), now=50.0)
+        store.close()
+        # NTP stepped the wall clock backward across the restart: elapsed
+        # clamps to zero, granting the full TTL again at worst
+        recovered = RepositoryStore(
+            t_g=0.0,
+            engine=open_engine_at(backend, root),
+            now=60.0,
+            wall_clock=lambda: 880.0,
+        )
+        assert recovered.holds(b"guid", now=69.9)
+        assert not recovered.holds(b"guid", now=70.0)
+        recovered.close()
+
+
 class TestMemoryEngineUnchanged:
     def test_default_store_is_volatile_and_recovers_nothing(self):
         store = RepositoryStore()

@@ -5,7 +5,16 @@ import os
 import pytest
 
 from repro.errors import CorruptRecordError, RecoveryError, StorageError
-from repro.store import WalEngine, corrupt_crc, inspect_store, tear_tail
+from repro.store import (
+    FaultPlan,
+    SimulatedCrash,
+    WalEngine,
+    corrupt_crc,
+    corrupt_length,
+    inspect_store,
+    tear_tail,
+)
+from repro.store.records import MAX_RECORD_LEN
 from repro.store.wal import LOG_NAME
 
 KEY = bytes(range(32))
@@ -141,9 +150,34 @@ class TestCorruption:
         with pytest.raises(CorruptRecordError):
             WalEngine(path)
 
-    def test_write_after_injected_crash_refuses(self, tmp_path):
-        from repro.store import FaultPlan, SimulatedCrash
+    def test_corrupt_length_prefix_mid_file_is_corruption_not_a_tear(self, tmp_path):
+        """A damaged length prefix can claim bytes all the way past EOF;
+        honouring it as a torn tail would silently swallow the committed
+        records after it.  A torn append can only leave behind a prefix
+        of a real (bounded-length) frame, so an implausible length is
+        always corruption."""
+        path = str(tmp_path / "store")
+        self.fill(path)
+        corrupt_length(os.path.join(path, LOG_NAME), record_index=1)
+        with pytest.raises(CorruptRecordError):
+            WalEngine(path)
 
+    def test_corrupt_length_prefix_on_final_record_is_corruption_too(self, tmp_path):
+        path = str(tmp_path / "store")
+        self.fill(path)
+        corrupt_length(os.path.join(path, LOG_NAME), record_index=-1)
+        with pytest.raises(CorruptRecordError):
+            WalEngine(path)
+
+    def test_oversized_value_refused_at_write_time(self, tmp_path):
+        """The MAX_RECORD_LEN bound the scanner relies on is enforced on
+        the write path, so every on-disk length a writer produced passes
+        the recovery sanity check."""
+        with WalEngine(str(tmp_path / "store")) as engine:
+            with pytest.raises(CorruptRecordError):
+                engine.put("items", b"k", bytes(MAX_RECORD_LEN))
+
+    def test_write_after_injected_crash_refuses(self, tmp_path):
         path = str(tmp_path / "store")
         engine = WalEngine(path, faults=FaultPlan("append.before_write"))
         with pytest.raises(SimulatedCrash):
@@ -151,6 +185,52 @@ class TestCorruption:
         with pytest.raises(StorageError):
             engine.put("items", b"k", b"v")
         assert not engine.healthy
+
+
+class TestSnapshotFallback:
+    def test_corrupt_newest_snapshot_falls_back_when_log_still_covers_it(
+        self, tmp_path
+    ):
+        """A crash between the snapshot rename and the log truncation
+        leaves two snapshots and a log still based on the older one; if
+        the newest then rots, recovery loads the older snapshot and
+        replays the full log — nothing committed is lost."""
+        path = str(tmp_path / "store")
+        with WalEngine(path) as engine:
+            engine.put("items", b"a", b"v1")
+            engine.compact()  # snapshot A
+            engine.put("items", b"b", b"v2")
+        engine = WalEngine(path, faults=FaultPlan("snapshot.after_rename"))
+        engine.put("items", b"c", b"v3")
+        with pytest.raises(SimulatedCrash):
+            engine.compact()  # snapshot B renamed in; log/unlink never ran
+        snapshots = sorted(n for n in os.listdir(path) if n.endswith(".snap"))
+        assert len(snapshots) == 2
+        corrupt_crc(os.path.join(path, snapshots[-1]))  # bit rot in the newest
+        with WalEngine(path) as recovered:
+            assert recovered.recovery.snapshots_skipped == 1
+            assert not recovered.recovery.clean
+            assert dict(recovered.items("items")) == {
+                b"a": b"v1",
+                b"b": b"v2",
+                b"c": b"v3",
+            }
+
+    def test_corrupt_snapshot_with_truncated_log_refuses_to_open(self, tmp_path):
+        """Once compaction truncated the log to the newest snapshot, that
+        snapshot is the only copy of the older records — if it is corrupt
+        the state is genuinely unrecoverable, and the open must say so
+        rather than come up with a silently partial store."""
+        path = str(tmp_path / "store")
+        with WalEngine(path) as engine:
+            engine.put("items", b"a", b"v1")
+            engine.put("items", b"b", b"v2")
+            engine.compact()
+        snapshots = [n for n in os.listdir(path) if n.endswith(".snap")]
+        assert len(snapshots) == 1
+        corrupt_crc(os.path.join(path, snapshots[0]))
+        with pytest.raises(RecoveryError):
+            WalEngine(path)
 
 
 class TestInspect:
