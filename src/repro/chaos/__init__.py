@@ -1,0 +1,53 @@
+"""repro.chaos: deterministic fault injection + invariant checking.
+
+FoundationDB-style discipline for the P3S reproduction: every run is
+driven by a seeded :class:`~repro.chaos.schedule.FaultSchedule`
+(drop/delay/duplicate/reorder/partition), executed against the real
+protocol stack on either substrate — the discrete-event simulator via
+:class:`~repro.chaos.inject.SimFaultInjector`, real TCP via
+:class:`~repro.chaos.proxy.FaultProxy` — and validated by the invariant
+catalogue in :mod:`repro.chaos.invariants` (delivery, privacy,
+durability, liveness).  ``repro chaos run --seed N`` replays any run
+bit-identically; ``--minimize`` shrinks a failing schedule to a
+1-minimal fault set.  See ``docs/CHAOS.md``.
+"""
+
+from .inject import SimFaultInjector
+from .invariants import (
+    InvariantResult,
+    check_delivery,
+    check_durability,
+    check_liveness,
+    check_privacy,
+)
+from .oracle import chaos_schema, expected_deliveries, generate_scenario
+from .runner import ChaosReport, minimize, run_chaos
+from .schedule import (
+    FAULT_KINDS,
+    PROFILES,
+    Fault,
+    FaultSchedule,
+    Profile,
+    minimize_schedule,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "PROFILES",
+    "Fault",
+    "FaultSchedule",
+    "Profile",
+    "SimFaultInjector",
+    "InvariantResult",
+    "ChaosReport",
+    "chaos_schema",
+    "check_delivery",
+    "check_durability",
+    "check_liveness",
+    "check_privacy",
+    "expected_deliveries",
+    "generate_scenario",
+    "minimize",
+    "minimize_schedule",
+    "run_chaos",
+]

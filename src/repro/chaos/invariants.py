@@ -1,0 +1,299 @@
+"""The invariant catalogue checked after every chaos run.
+
+Four families, each grounding one of the paper's guarantees against a
+faulted execution:
+
+* **delivery** — the delivered multiset equals the plaintext oracle set
+  (:mod:`repro.chaos.oracle`): nothing missing, no phantoms, and no
+  duplicate deliveries even when the wire duplicated frames;
+* **privacy** — the §6.1 visibility claims (reused verbatim from
+  :func:`repro.privacy.trace.trace_visibility`) still hold, and
+  additionally no payload plaintext sits in RS-persisted state and no
+  subscriber identity leaked into RS/PBE-TS observation logs — retries
+  and duplicates must not widen what any honest-but-curious component
+  sees;
+* **durability** — state recovered after a (simulated) crash equals the
+  committed pre-crash state, and TTL-expired ciphertext does not
+  survive in any store file (composes with :mod:`repro.store.faults`);
+* **liveness** — once the fault window closes, every matched
+  publication is eventually delivered and the simulation reaches
+  quiescence (no protocol process parked forever).
+
+Each check returns :class:`InvariantResult` rows; a run passes iff all
+rows pass.  The checks are pure functions of run artifacts so they can
+be unit-tested against deliberately broken states (the mutation tests
+in ``tests/chaos/``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..privacy.trace import trace_visibility
+
+__all__ = [
+    "InvariantResult",
+    "check_delivery",
+    "check_privacy",
+    "check_durability",
+    "check_liveness",
+    "scan_files_for",
+]
+
+DeliveryMap = Mapping[str, tuple[bytes, ...]]
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """One checked invariant: family, name, verdict, evidence."""
+
+    family: str  # delivery | privacy | durability | liveness
+    name: str
+    passed: bool
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "name": self.name,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+def _decode(payloads: Iterable[bytes]) -> list[str]:
+    return [p.decode("utf-8", "replace") for p in payloads]
+
+
+# -- delivery ---------------------------------------------------------------
+
+
+def check_delivery(
+    expected: DeliveryMap,
+    actual: DeliveryMap,
+    delivered_ids: Mapping[str, list[int]] | None = None,
+) -> list[InvariantResult]:
+    """Delivered multiset == oracle set; no phantoms; no duplicates.
+
+    ``delivered_ids`` maps subscriber → the publication_id of each
+    delivery, in delivery order — the duplicate check is per publication
+    id, which is stable across runs (GUIDs are randomized per run).
+    """
+    results: list[InvariantResult] = []
+    mismatches = {
+        name: {"expected": _decode(expected.get(name, ())), "actual": _decode(got)}
+        for name, got in sorted(actual.items())
+        if tuple(expected.get(name, ())) != tuple(got)
+    }
+    results.append(
+        InvariantResult(
+            "delivery",
+            "delivery.matches_oracle",
+            not mismatches,
+            "delivered sets equal the plaintext oracle" if not mismatches else str(mismatches),
+        )
+    )
+    phantoms = {
+        name: _decode(p for p in got if p not in expected.get(name, ()))
+        for name, got in sorted(actual.items())
+        if any(p not in expected.get(name, ()) for p in got)
+    }
+    results.append(
+        InvariantResult(
+            "delivery",
+            "delivery.no_phantoms",
+            not phantoms,
+            "no subscriber received an unmatched payload" if not phantoms else str(phantoms),
+        )
+    )
+    duplicates = {}
+    for name, ids in sorted((delivered_ids or {}).items()):
+        repeated = sorted({i for i in ids if ids.count(i) > 1})
+        if repeated:
+            duplicates[name] = repeated
+    results.append(
+        InvariantResult(
+            "delivery",
+            "delivery.no_duplicates",
+            not duplicates,
+            "every publication delivered at most once per subscriber"
+            if not duplicates
+            else f"publication ids delivered more than once: {duplicates}",
+        )
+    )
+    return results
+
+
+# -- privacy ----------------------------------------------------------------
+
+
+def check_privacy(system, payloads: Iterable[bytes]) -> list[InvariantResult]:
+    """§6.1 visibility claims + at-rest plaintext + identity-leak scans."""
+    results: list[InvariantResult] = []
+    report = trace_visibility(system)
+    for claim in report.claims:
+        results.append(
+            InvariantResult(
+                "privacy",
+                f"privacy.visibility.{claim.component}",
+                claim.holds,
+                claim.claim if claim.holds else f"{claim.claim} — {claim.evidence}",
+            )
+        )
+    # No payload plaintext in anything the RS persisted: the CP-ABE
+    # pipeline must keep content sealed even across retried/duplicated
+    # submissions.  Scans raw engine values (framing + ciphertext).
+    stored = [value for _key, value in system.rs.store.engine.items("items")]
+    payload_list = list(payloads)
+    leaked = sorted(
+        _decode(
+            payload
+            for payload in payload_list
+            if payload and any(payload in value for value in stored)
+        )
+    )
+    results.append(
+        InvariantResult(
+            "privacy",
+            "privacy.no_plaintext_at_rs",
+            not leaked,
+            f"scanned {len(stored)} stored values for {len(payload_list)} payloads"
+            if not leaked
+            else f"payload plaintext found in RS store: {leaked}",
+        )
+    )
+    # No subscriber identity in the request sources any server logged —
+    # anonymization must hold across every retry attempt, not just the
+    # first request.
+    subscriber_names = set(system.subscribers)
+    seen = set(system.rs.observed_sources) | set(system.pbe_ts.observed_sources)
+    identified = sorted(subscriber_names & seen)
+    results.append(
+        InvariantResult(
+            "privacy",
+            "privacy.no_subscriber_identity_at_servers",
+            not system.config.use_anonymizer or not identified,
+            f"RS/PBE-TS request sources: {sorted(seen)}"
+            if not identified
+            else f"subscriber identities reached servers: {identified}",
+        )
+    )
+    return results
+
+
+# -- durability -------------------------------------------------------------
+
+
+def scan_files_for(root: str, needle: bytes) -> list[str]:
+    """Paths under ``root`` whose raw bytes contain ``needle``."""
+    found: list[str] = []
+    for directory, _subdirs, files in sorted(os.walk(root)):
+        for name in sorted(files):
+            path = os.path.join(directory, name)
+            with open(path, "rb") as handle:
+                if needle in handle.read():
+                    found.append(path)
+    return found
+
+
+def check_durability(
+    committed: Mapping[bytes, bytes],
+    recovered: Mapping[bytes, bytes],
+    expired: Iterable[tuple[bytes, bytes]] = (),
+    store_root: str | None = None,
+) -> list[InvariantResult]:
+    """Recovered state == committed state; expired ciphertext truly gone.
+
+    ``committed`` is the key→value map whose writes completed before the
+    crash (mirrored at the caller); ``recovered`` is what a fresh engine
+    over the same directory reports.  ``expired`` lists
+    ``(guid, ciphertext)`` pairs that were garbage-collected before the
+    crash — their ciphertext must not be recoverable from any file under
+    ``store_root`` (the verified-deletion guarantee, §4.3 "Deletion").
+    """
+    results: list[InvariantResult] = []
+    lost = sorted(key.hex() for key in committed if key not in recovered)
+    corrupt = sorted(
+        key.hex()
+        for key in committed
+        if key in recovered and recovered[key] != committed[key]
+    )
+    results.append(
+        InvariantResult(
+            "durability",
+            "durability.committed_recovered",
+            not lost and not corrupt,
+            f"all {len(committed)} committed items recovered intact"
+            if not lost and not corrupt
+            else f"lost: {lost}, corrupt: {corrupt}",
+        )
+    )
+    resurrected = sorted(key.hex() for key in recovered if key not in committed)
+    results.append(
+        InvariantResult(
+            "durability",
+            "durability.no_resurrection",
+            not resurrected,
+            "no deleted/uncommitted key reappeared"
+            if not resurrected
+            else f"keys resurrected by recovery: {resurrected}",
+        )
+    )
+    if store_root is not None:
+        lingering = {
+            guid.hex(): scan_files_for(store_root, ciphertext)
+            for guid, ciphertext in expired
+            if ciphertext and scan_files_for(store_root, ciphertext)
+        }
+        results.append(
+            InvariantResult(
+                "durability",
+                "durability.expired_ciphertext_absent",
+                not lingering,
+                "expired ciphertext found in no store file"
+                if not lingering
+                else f"expired ciphertext still on disk: {lingering}",
+            )
+        )
+    return results
+
+
+# -- liveness ---------------------------------------------------------------
+
+
+def check_liveness(
+    system,
+    expected: DeliveryMap,
+    actual: DeliveryMap,
+) -> list[InvariantResult]:
+    """After the fault window: everything matched delivers, nothing wedges."""
+    results: list[InvariantResult] = []
+    missing = {
+        name: _decode(p for p in payloads if p not in actual.get(name, ()))
+        for name, payloads in sorted(expected.items())
+        if any(p not in actual.get(name, ()) for p in payloads)
+    }
+    results.append(
+        InvariantResult(
+            "liveness",
+            "liveness.eventual_delivery",
+            not missing,
+            "every oracle-matched publication was delivered"
+            if not missing
+            else f"matched but never delivered: {missing}",
+        )
+    )
+    quiescent = system.sim.quiescent
+    results.append(
+        InvariantResult(
+            "liveness",
+            "liveness.quiescent",
+            quiescent,
+            "simulation reached quiescence (only daemon events remain)"
+            if quiescent
+            else f"{system.sim.pending_events} events pending, non-daemon work stuck",
+        )
+    )
+    return results

@@ -1,0 +1,265 @@
+"""Seeded chaos runs: workload + schedule + injection + invariant report.
+
+One :func:`run_chaos` call is the unit of chaos testing:
+
+1. derive a pub/sub workload and a fault schedule from the seed;
+2. compute the plaintext delivery oracle;
+3. stand up a :class:`~repro.core.system.P3SSystem`, run the
+   subscription phase fault-free, then arm the injector and publish
+   through the fault window;
+4. run to quiescence and evaluate the full invariant catalogue
+   (delivery, privacy, durability, liveness);
+5. emit a :class:`ChaosReport` whose JSON is bit-deterministic for a
+   given seed — two runs with the same seed produce identical fault
+   schedules, delivery sets, and invariant reports.
+
+Determinism ground rules honored here: ``random.Random(seed)`` is the
+only entropy source for schedules/workloads; the report carries no wall
+clock, no filesystem paths, and no per-run randomized identifiers
+(GUIDs/ciphertexts vary per run — delivery sets are compared as
+plaintext payloads, the substrate-independent observable).
+
+``minimize`` greedily shrinks a failing schedule to a 1-minimal fault
+set by re-running the same seed with candidate schedules — possible
+only because a schedule fully determines the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+
+from ..core.config import P3SConfig
+from ..core.system import P3SSystem
+from ..store.wal import WalEngine
+from .inject import SimFaultInjector
+from .invariants import (
+    InvariantResult,
+    check_delivery,
+    check_durability,
+    check_liveness,
+    check_privacy,
+)
+from .oracle import chaos_schema, expected_deliveries, generate_scenario
+from .schedule import PROFILES, FaultSchedule, Profile, minimize_schedule
+
+__all__ = ["ChaosReport", "run_chaos", "minimize"]
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced, JSON-ready and deterministic."""
+
+    seed: int
+    profile: str
+    passed: bool
+    schedule: dict
+    workload: dict
+    expected: dict[str, list[str]]
+    actual: dict[str, list[str]]
+    applied_faults: list[dict]
+    invariants: list[InvariantResult] = field(default_factory=list)
+
+    def failures(self) -> list[InvariantResult]:
+        return [result for result in self.invariants if not result.passed]
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "profile": self.profile,
+            "passed": self.passed,
+            "schedule": self.schedule,
+            "workload": self.workload,
+            "expected": self.expected,
+            "actual": self.actual,
+            "applied_faults": self.applied_faults,
+            "invariants": [result.to_dict() for result in self.invariants],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def _payload_map(delivery_map) -> dict[str, list[str]]:
+    return {
+        name: [payload.decode("utf-8", "replace") for payload in payloads]
+        for name, payloads in sorted(delivery_map.items())
+    }
+
+
+def run_chaos(
+    seed: int,
+    profile: str = "default",
+    schedule: FaultSchedule | None = None,
+    data_dir: str | None = None,
+    mutate=None,
+) -> ChaosReport:
+    """One seeded chaos run; see the module docstring for the phases.
+
+    ``schedule`` replays/overrides the generated one (same-seed workload,
+    different faults — the replay and minimization entry point).
+    ``mutate(system)`` is a test seam: called after the subscription
+    phase, before the fault window, so mutation tests can break the
+    system on purpose (disable retries, disable dedup, taint an
+    observation log) and prove the invariants catch it.
+    ``data_dir`` hosts the durable profiles' WAL; a temp directory is
+    used (and removed) when omitted.
+    """
+    prof: Profile = PROFILES[profile] if profile in PROFILES else PROFILES["default"]
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; expected one of {sorted(PROFILES)}")
+    scenario = generate_scenario(seed, prof.subscribers, prof.publications)
+    expected = expected_deliveries(scenario)
+    if schedule is None:
+        schedule = FaultSchedule.generate(
+            seed, prof, [spec.name for spec in scenario.subscribers], scenario.publisher_name
+        )
+
+    own_tmp = data_dir is None and prof.durable
+    if own_tmp:
+        data_dir = tempfile.mkdtemp(prefix="p3s-chaos-")
+    config = P3SConfig(schema=chaos_schema())
+    if prof.durable:
+        config = config.with_(
+            store_backend="wal",
+            data_dir=data_dir,
+            store_fsync=False,  # crash realism comes from the fault plan, not fsync cost
+            store_snapshot_every=8,
+        )
+
+    system = None
+    try:
+        system = P3SSystem(config)
+        subscribers = {}
+        for spec in scenario.subscribers:
+            subscriber = system.add_subscriber(spec.name, attributes=set(spec.attributes))
+            # retry hardening: the profile's loss windows stay inside
+            # this budget, so delivery deviations are real bugs
+            subscriber.retrieval_retries = prof.retrieval_retries
+            subscriber.retry_delay_s = prof.retry_delay_s
+            subscriber.call_timeout_s = prof.call_timeout_s
+            subscribers[spec.name] = subscriber
+            for interest in spec.interests:
+                system.subscribe(subscriber, interest)
+        system.run()  # subscription phase, fault-free
+
+        if mutate is not None:
+            mutate(system)
+
+        injector = SimFaultInjector(schedule, system.sim, epoch=system.now)
+        system.set_fault_injector(injector)
+        publisher = system.add_publisher(scenario.publisher_name)
+        for publication in scenario.publications:
+            publisher.publish(
+                publication.metadata_dict,
+                publication.payload,
+                policy=publication.policy,
+                ttl_s=publication.ttl_s,
+            )
+        system.run()  # through the fault window, to quiescence
+        system.set_fault_injector(None)
+
+        actual = {
+            name: tuple(sorted(d.payload for d in sub.stats.deliveries))
+            for name, sub in sorted(system.subscribers.items())
+        }
+        delivered_ids = {
+            name: [d.publication_id for d in sub.stats.deliveries]
+            for name, sub in sorted(system.subscribers.items())
+        }
+
+        invariants: list[InvariantResult] = []
+        invariants += check_delivery(expected, actual, delivered_ids)
+        invariants += check_privacy(system, [p.payload for p in scenario.publications])
+        if prof.durable:
+            invariants += _check_store_durability(system, data_dir)
+        invariants += check_liveness(system, expected, actual)
+
+        report = ChaosReport(
+            seed=seed,
+            profile=prof.name,
+            passed=all(result.passed for result in invariants),
+            schedule=schedule.to_dict(),
+            workload={
+                "subscribers": [
+                    {
+                        "name": spec.name,
+                        "attributes": sorted(spec.attributes),
+                        "interests": [i.to_json() for i in spec.interests],
+                    }
+                    for spec in scenario.subscribers
+                ],
+                "publications": [
+                    {
+                        "metadata": dict(pub.metadata),
+                        "payload": pub.payload.decode(),
+                        "policy": pub.policy,
+                    }
+                    for pub in scenario.publications
+                ],
+            },
+            expected=_payload_map(expected),
+            actual=_payload_map(actual),
+            applied_faults=injector.applied_summary(),
+            invariants=invariants,
+        )
+        return report
+    finally:
+        if system is not None:
+            system.ds.close_match_pool()
+            if prof.durable:
+                system.rs.store.engine.close()
+                system.ds.store.close()
+        if own_tmp:
+            shutil.rmtree(data_dir, ignore_errors=True)
+
+
+def _check_store_durability(system, data_dir: str) -> list[InvariantResult]:
+    """Crash-and-recover the RS engine in place, then compare states.
+
+    The committed state is what the engine answers *now* (every write of
+    the run completed); the crash is simulated the way the store battery
+    does it — drop the handle without close, reopen the directory — so
+    recovery runs the real WAL replay path under whatever append/snapshot
+    interleaving the faulted network traffic produced.
+    """
+    engine = system.rs.store.engine
+    committed = dict(engine.items("items"))
+    rs_dir = os.path.join(data_dir, "rs")
+    # a real crash runs no destructors: abandon the handle, reopen fresh
+    recovered_engine = WalEngine(rs_dir, fsync=False)
+    try:
+        recovered = dict(recovered_engine.items("items"))
+    finally:
+        recovered_engine.close()
+    return check_durability(committed, recovered)
+
+
+def minimize(
+    seed: int,
+    profile: str = "default",
+    schedule: FaultSchedule | None = None,
+) -> tuple[FaultSchedule, ChaosReport]:
+    """Shrink a failing run's schedule to a 1-minimal failing fault set.
+
+    Returns ``(minimal_schedule, its_report)``.  When the initial run
+    passes, returns it unchanged — nothing to shrink.
+    """
+    report = run_chaos(seed, profile, schedule)
+    if report.passed:
+        return (
+            schedule
+            if schedule is not None
+            else FaultSchedule.from_dict(report.schedule),
+            report,
+        )
+    base = schedule if schedule is not None else FaultSchedule.from_dict(report.schedule)
+
+    def still_fails(candidate: FaultSchedule) -> bool:
+        return not run_chaos(seed, profile, candidate).passed
+
+    minimal = minimize_schedule(base, still_fails)
+    return minimal, run_chaos(seed, profile, minimal)

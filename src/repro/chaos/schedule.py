@@ -1,0 +1,274 @@
+"""Seeded, replayable fault schedules.
+
+A chaos run is parameterized by exactly one integer seed: the workload,
+the fault schedule, and every injection decision derive from
+``random.Random(seed)`` — no wall clock, no ambient entropy — so a
+failing run replays bit-identically from its seed, and a schedule can be
+serialized to JSON, shipped in a bug report, and re-run verbatim.
+
+The fault model (one :class:`Fault` per entry):
+
+==============  ==============================================================
+``drop``        lose matching frames on the wire (selected hit ordinals)
+``delay``       hold matching frames back ``delay_s`` extra seconds
+``reorder``     delay *selected* frames so later traffic overtakes them
+``duplicate``   deliver matching frames twice, the copy ``delay_s`` later
+``partition``   drop *everything* to/from ``node`` inside the window
+==============  ==============================================================
+
+Faults carry a ``[start, end)`` window measured from the chaos epoch
+(the instant the injector is armed, i.e. the start of the publication
+phase) and match links by ``src``/``dst`` pattern (``"*"`` wildcard,
+``"sub*"`` prefix).  ``hits`` selects which matching frames (1-based
+ordinals per fault) are affected; empty means all of them.
+
+Schedule *generation* is deliberately budget-aware: loss-type faults
+(drop, partition) are only generated on the retrieval path — subscriber
+↔ anonymizer ↔ RS — where the protocol carries a retry budget, never on
+the unacknowledged publish/fan-out casts whose loss no amount of
+retrying can repair (see ``docs/CHAOS.md`` for the fault-model
+rationale).  Replayed or hand-built schedules can of course place
+faults anywhere, which is exactly how the invariant checker's mutation
+tests manufacture failing runs on purpose.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultSchedule",
+    "Profile",
+    "PROFILES",
+    "minimize_schedule",
+]
+
+FAULT_KINDS = ("drop", "delay", "duplicate", "reorder", "partition")
+
+
+def _pattern_matches(pattern: str, name: str) -> bool:
+    if pattern == "*" or pattern == name:
+        return True
+    return pattern.endswith("*") and name.startswith(pattern[:-1])
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: kind, link selector, time window, parameters."""
+
+    kind: str
+    start: float
+    end: float
+    src: str = "*"
+    dst: str = "*"
+    node: str = ""  # partition target; matches traffic in either direction
+    delay_s: float = 0.0  # extra latency (delay/reorder) or copy gap (duplicate)
+    hits: tuple[int, ...] = ()  # 1-based ordinals of matching frames; () = all
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+
+    def in_window(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    def matches_link(self, src: str, dst: str) -> bool:
+        if self.kind == "partition":
+            return src == self.node or dst == self.node
+        return _pattern_matches(self.src, src) and _pattern_matches(self.dst, dst)
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "start": self.start, "end": self.end}
+        if self.src != "*":
+            out["src"] = self.src
+        if self.dst != "*":
+            out["dst"] = self.dst
+        if self.node:
+            out["node"] = self.node
+        if self.delay_s:
+            out["delay_s"] = self.delay_s
+        if self.hits:
+            out["hits"] = list(self.hits)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Fault":
+        return cls(
+            kind=data["kind"],
+            start=data["start"],
+            end=data["end"],
+            src=data.get("src", "*"),
+            dst=data.get("dst", "*"),
+            node=data.get("node", ""),
+            delay_s=data.get("delay_s", 0.0),
+            hits=tuple(data.get("hits", ())),
+        )
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Shape parameters for one named schedule generator.
+
+    The retry-budget fields are consumed by the runner (they harden the
+    subscribers); the generator keeps loss windows and hit counts inside
+    that budget so a passing profile *should* pass — every delivery
+    deviation is then a real bug, not an over-aggressive schedule.
+    """
+
+    name: str
+    n_faults: int
+    kinds: tuple[str, ...]
+    subscribers: int = 3
+    publications: int = 4
+    horizon_s: float = 2.5
+    # fault start times are sampled inside this window: the simulator's
+    # publication burst completes within ~0.3s of the epoch, so windows
+    # anchored later would never see a frame
+    traffic_window_s: float = 0.3
+    max_extra_delay_s: float = 0.6
+    max_partition_s: float = 0.9
+    max_loss_hits: int = 2
+    # subscriber hardening applied by the runner
+    retrieval_retries: int = 8
+    retry_delay_s: float = 0.2
+    call_timeout_s: float = 0.6
+    # exercise the durability invariant against a WAL-backed RS
+    durable: bool = False
+
+
+PROFILES: dict[str, Profile] = {
+    profile.name: profile
+    for profile in (
+        Profile("smoke", 2, ("delay", "duplicate"), subscribers=2, publications=2),
+        Profile("default", 5, ("drop", "delay", "duplicate", "reorder")),
+        Profile("ci", 6, FAULT_KINDS, durable=True),
+        Profile("heavy", 12, FAULT_KINDS, subscribers=4, publications=6,
+                horizon_s=4.0, durable=True),
+        Profile("partition", 3, ("partition", "drop"), durable=False),
+    )
+}
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered list of faults plus its provenance (seed + profile)."""
+
+    seed: int
+    profile: str
+    faults: tuple[Fault, ...] = field(default_factory=tuple)
+
+    def without(self, index: int) -> "FaultSchedule":
+        """A copy with fault ``index`` removed (the minimization step)."""
+        kept = self.faults[:index] + self.faults[index + 1 :]
+        return replace(self, faults=kept)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "profile": self.profile,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        return cls(
+            seed=data["seed"],
+            profile=data.get("profile", "replay"),
+            faults=tuple(Fault.from_dict(f) for f in data["faults"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        profile: str | Profile,
+        subscriber_names: Sequence[str],
+        publisher_name: str = "pub",
+    ) -> "FaultSchedule":
+        """Derive a schedule from ``random.Random(seed)`` alone.
+
+        Link pools by loss class:
+
+        * *retried* links (sub ↔ anon, anon ↔ rs): any fault kind —
+          the retrieval retry budget absorbs loss here;
+        * *benign* links (pub → ds, ds → sub, ds → rs): delay /
+          reorder / duplicate only — loss on these unacknowledged
+          casts would be unrecoverable by design (documented gap);
+        * partitions target the anonymizer only: it sits exclusively
+          on the retried path, so a closed window always heals.
+        """
+        prof = PROFILES[profile] if isinstance(profile, str) else profile
+        rng = random.Random(seed)
+        subs = list(subscriber_names)
+        retried: list[tuple[str, str]] = [("anon", "rs"), ("rs", "anon")]
+        for name in subs:
+            retried += [(name, "anon"), ("anon", name)]
+        benign = list(retried) + [(publisher_name, "ds"), ("ds", "rs")]
+        benign += [("ds", name) for name in subs]
+        faults: list[Fault] = []
+        for _ in range(prof.n_faults):
+            kind = rng.choice(prof.kinds)
+            start = round(rng.uniform(0.0, prof.traffic_window_s), 3)
+            length = round(rng.uniform(0.3, prof.horizon_s * 0.5), 3)
+            if kind == "partition":
+                end = round(start + min(length, prof.max_partition_s), 3)
+                faults.append(Fault(kind, start, end, node="anon"))
+                continue
+            end = round(start + length, 3)
+            if kind == "drop":
+                src, dst = rng.choice(retried)
+                count = rng.randint(1, prof.max_loss_hits)
+                hits = tuple(sorted(rng.sample(range(1, 5), count)))
+                faults.append(Fault(kind, start, end, src, dst, hits=hits))
+            elif kind == "duplicate":
+                src, dst = rng.choice(benign)
+                hits = (rng.randint(1, 3),)
+                gap = round(rng.uniform(0.01, 0.2), 3)
+                faults.append(Fault(kind, start, end, src, dst, delay_s=gap, hits=hits))
+            elif kind == "reorder":
+                src, dst = rng.choice(benign)
+                hits = (rng.randint(1, 3),)
+                extra = round(rng.uniform(0.05, prof.max_extra_delay_s), 3)
+                faults.append(Fault(kind, start, end, src, dst, delay_s=extra, hits=hits))
+            else:  # delay: every matching frame in the window
+                src, dst = rng.choice(benign)
+                extra = round(rng.uniform(0.02, prof.max_extra_delay_s), 3)
+                faults.append(Fault(kind, start, end, src, dst, delay_s=extra))
+        return cls(seed=seed, profile=prof.name, faults=tuple(faults))
+
+
+def minimize_schedule(
+    schedule: FaultSchedule,
+    still_fails: Callable[[FaultSchedule], bool],
+) -> FaultSchedule:
+    """Greedily shrink a failing schedule to a locally minimal fault set.
+
+    Repeatedly tries removing one fault at a time, keeping any removal
+    after which ``still_fails`` still returns True, until no single
+    removal preserves the failure.  O(n²) runs worst case — fine for the
+    ≤ a-dozen-fault schedules the generator emits — and the result is
+    1-minimal: every remaining fault is necessary to reproduce.
+    """
+    current = schedule
+    shrunk = True
+    while shrunk and current.faults:
+        shrunk = False
+        for index in range(len(current.faults)):
+            candidate = current.without(index)
+            if still_fails(candidate):
+                current = candidate
+                shrunk = True
+                break
+    return current

@@ -17,6 +17,9 @@
     python -m repro live top --state p3s.state        # refreshing per-service throughput view
     python -m repro live init --state p3s.state --data-dir ./p3s-data   # durable deployment
     python -m repro store inspect ./p3s-data/rs       # keyless store-file dump
+    python -m repro chaos run --seed 7 --profile ci   # seeded fault-injection run
+    python -m repro chaos run --seed 7 --minimize     # shrink a failing schedule
+    python -m repro chaos profiles                    # list fault profiles
 """
 
 from __future__ import annotations
@@ -501,6 +504,64 @@ def _cmd_live_top(args) -> None:
         pass
 
 
+def _cmd_chaos_run(args) -> None:
+    from .chaos import FaultSchedule, minimize, run_chaos
+
+    schedule = None
+    if args.schedule:
+        with open(args.schedule) as handle:
+            schedule = FaultSchedule.from_json(handle.read())
+    report = run_chaos(args.seed, args.profile, schedule=schedule)
+    rows = [
+        [result.family, result.name, "pass" if result.passed else "FAIL",
+         result.detail if not result.passed else ""]
+        for result in report.invariants
+    ]
+    print(format_table(
+        ["family", "invariant", "verdict", "detail"],
+        rows,
+        title=f"chaos run — seed {args.seed}, profile {report.profile}",
+    ))
+    applied = sum(entry["count"] for entry in report.applied_faults)
+    print(f"\nfaults scheduled: {len(report.schedule['faults'])}, "
+          f"frames faulted: {applied}")
+    for entry in report.applied_faults:
+        print(f"  fault #{entry['fault']}: {entry['kind']} "
+              f"{entry['src']}->{entry['dst']} x{entry['count']}")
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote report to {args.report}")
+    if report.passed:
+        print("\nall invariants hold")
+        return
+    print(f"\n{len(report.failures())} invariant(s) violated")
+    if args.minimize:
+        minimal, minimal_report = minimize(args.seed, args.profile, schedule=schedule)
+        print(f"minimized schedule: {len(minimal.faults)} fault(s) suffice to reproduce")
+        print(minimal.to_json())
+        if args.min_out:
+            with open(args.min_out, "w") as handle:
+                handle.write(minimal.to_json() + "\n")
+            print(f"wrote minimized schedule to {args.min_out}")
+    raise SystemExit(1)
+
+
+def _cmd_chaos_profiles(args) -> None:
+    from .chaos import PROFILES
+
+    rows = [
+        [p.name, str(p.n_faults), ",".join(p.kinds),
+         f"{p.subscribers}x{p.publications}", "yes" if p.durable else "no"]
+        for p in PROFILES.values()
+    ]
+    print(format_table(
+        ["profile", "faults", "kinds", "subs x pubs", "durable"],
+        rows,
+        title="chaos fault profiles",
+    ))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="P3S reproduction — experiment runner"
@@ -617,6 +678,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="append sweeps instead of clearing the screen (for logs/CI)",
     )
     live_top.set_defaults(func=_cmd_live_top)
+
+    chaos = sub.add_parser("chaos", help="seeded fault injection + invariant checks")
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_sub.add_parser(
+        "run",
+        help="one seeded chaos run: derive workload + fault schedule from the "
+             "seed, execute with injection, check the invariant catalogue",
+    )
+    chaos_run.add_argument("--seed", type=int, required=True)
+    chaos_run.add_argument(
+        "--profile", default="default",
+        help="fault profile (see 'chaos profiles'; default: default)",
+    )
+    chaos_run.add_argument(
+        "--schedule", metavar="FILE", default=None,
+        help="replay a serialized schedule instead of generating one",
+    )
+    chaos_run.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the full JSON run report to PATH",
+    )
+    chaos_run.add_argument(
+        "--minimize", action="store_true",
+        help="on failure, greedily shrink the schedule to a 1-minimal "
+             "failing fault set",
+    )
+    chaos_run.add_argument(
+        "--min-out", metavar="PATH", default=None,
+        help="write the minimized schedule JSON to PATH (with --minimize)",
+    )
+    chaos_run.set_defaults(func=_cmd_chaos_run)
+    chaos_profiles = chaos_sub.add_parser("profiles", help="list fault profiles")
+    chaos_profiles.set_defaults(func=_cmd_chaos_profiles)
 
     store = sub.add_parser("store", help="inspect repro.store files")
     store_sub = store.add_subparsers(dest="store_command", required=True)

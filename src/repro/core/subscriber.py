@@ -20,6 +20,7 @@ protocols:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -27,7 +28,13 @@ from ..abe.hybrid import HybridCPABE
 from ..abe.serialize import deserialize_hybrid
 from ..crypto.group import PairingGroup
 from ..crypto.symmetric import SecretBox
-from ..errors import DecryptionError, GuidMismatchError, RetrievalError, TokenRequestError
+from ..errors import (
+    DecryptionError,
+    GuidMismatchError,
+    RetrievalError,
+    TokenRequestError,
+    TransportError,
+)
 from ..mq.client import JmsConnection
 from ..obs import profile as obs
 from ..pbe.hve import HVE, HVEToken
@@ -54,10 +61,43 @@ from .rs import decode_retrieval_response, encode_retrieval_request
 __all__ = [
     "Subscriber",
     "Delivery",
+    "GuidDeduper",
     "SubscriberStats",
     "match_tokens",
     "open_delivery",
 ]
+
+
+class GuidDeduper:
+    """Bounded memory of GUIDs already matched, for duplicate suppression.
+
+    A retransmitted (or chaos-duplicated) metadata frame matches the
+    same token again and would re-run the whole retrieve→decrypt→deliver
+    pipeline, handing the application the same payload twice.  GUIDs are
+    unique per publication, so remembering which ones this subscriber
+    already acted on makes delivery idempotent at the match boundary.
+    The memory is bounded (FIFO eviction) so a long-lived subscriber
+    cannot grow it without limit; the window only needs to outlast the
+    network's duplicate horizon, not the subscriber's lifetime.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._seen: set[bytes] = set()
+        self._order: deque[bytes] = deque()
+
+    def seen(self, guid: bytes) -> bool:
+        """Record ``guid``; True when it was already present (a duplicate)."""
+        if guid in self._seen:
+            return True
+        self._seen.add(guid)
+        self._order.append(guid)
+        if len(self._order) > self.capacity:
+            self._seen.discard(self._order.popleft())
+        return False
+
+    def __len__(self) -> int:
+        return len(self._order)
 
 
 def match_tokens(hve, tokens, ciphertext):
@@ -111,6 +151,7 @@ class SubscriberStats:
     non_matches: int = 0
     failed_fetches: int = 0  # expired / unknown GUID at the RS
     access_denied: int = 0  # CP-ABE attributes insufficient
+    duplicates_suppressed: int = 0  # retransmitted frames dropped by GUID dedup
     deliveries: list[Delivery] = field(default_factory=list)
 
 
@@ -130,6 +171,7 @@ class Subscriber:
         local_token_source=None,
         retrieval_retries: int = 3,
         retry_delay_s: float = 0.25,
+        call_timeout_s: float | None = None,
         delegate_tokens: bool = False,
     ):
         self.credentials = credentials
@@ -144,6 +186,13 @@ class Subscriber:
         self.local_token_source = local_token_source
         self.retrieval_retries = retrieval_retries
         self.retry_delay_s = retry_delay_s
+        # Bound on each anonymized RPC round trip.  None (the default)
+        # waits forever — correct on a lossless network.  Chaos runs set
+        # it so a dropped request/response frame surfaces as a
+        # TransportError and consumes a retry instead of wedging the
+        # retrieval process.
+        self.call_timeout_s = call_timeout_s
+        self._dedup: GuidDeduper | None = GuidDeduper()
         # Delegated matching (opt-in, privacy trade-off — see
         # repro.core.ds): hand each minted token to the DS so it can
         # pre-filter the metadata fan-out.  Local matching still runs on
@@ -278,6 +327,12 @@ class Subscriber:
             self.stats.non_matches += 1
             return
         self.stats.matches += 1
+        if self._dedup is not None and self._dedup.seen(guid):
+            # retransmitted metadata frame: the pipeline already ran (or
+            # is running) for this GUID — deliver-at-most-once holds here
+            self.stats.duplicates_suppressed += 1
+            obs.record_op("subscriber.duplicate_suppressed")
+            return
         yield from self._retrieve_process(guid, envelope.publication_id, parent=span)
 
     # -- retrieval (Fig. 4) ------------------------------------------------------
@@ -301,9 +356,14 @@ class Subscriber:
             body = encode_retrieval_request(session_key, guid)
             yield self.sim.timeout(self.timings.pke_op)
             request = self.directory.rs_public_key.encrypt(body)
-            sealed = yield self._anonymized_call(
-                self.directory.rs_name, RPC_RETRIEVE, request, span=span
-            )
+            try:
+                sealed = yield self._anonymized_call(
+                    self.directory.rs_name, RPC_RETRIEVE, request, span=span
+                )
+            except TransportError:
+                # lost request or response (call_timeout_s fired): the
+                # same retry budget covers wire loss and the store race
+                continue
             yield self.sim.timeout(self.timings.symmetric(len(sealed)))
             try:
                 ciphertext_bytes = decode_retrieval_response(session_key, sealed)
@@ -371,7 +431,9 @@ class Subscriber:
                 envelope,
                 envelope.wire_size,
                 headers=headers,
+                timeout_s=self.call_timeout_s,
             )
         return self.connection.endpoint.call(
-            dst, msg_type, request, len(request), headers=headers
+            dst, msg_type, request, len(request), headers=headers,
+            timeout_s=self.call_timeout_s,
         )

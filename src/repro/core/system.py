@@ -197,6 +197,18 @@ class P3SSystem:
         """Kick off the Fig. 3 token-request protocol for ``interest``."""
         return subscriber.subscribe(interest)
 
+    # -- fault injection (repro.chaos) ------------------------------------------
+
+    def set_fault_injector(self, injector) -> None:
+        """Install a chaos fault injector on this deployment's network.
+
+        ``injector`` follows the :meth:`repro.net.network.Network.set_fault_injector`
+        contract — typically a :class:`repro.chaos.inject.SimFaultInjector`
+        armed with a seeded :class:`repro.chaos.schedule.FaultSchedule`.
+        Pass ``None`` to restore the lossless network.
+        """
+        self.network.set_fault_injector(injector)
+
     # -- execution ------------------------------------------------------------------
 
     def run(self, until: float | None = None) -> None:

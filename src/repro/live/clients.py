@@ -50,7 +50,13 @@ from ..core.publisher import (
     encrypt_payload_ciphertext,
 )
 from ..core.rs import decode_retrieval_response, encode_retrieval_request
-from ..core.subscriber import Delivery, SubscriberStats, match_tokens, open_delivery
+from ..core.subscriber import (
+    Delivery,
+    GuidDeduper,
+    SubscriberStats,
+    match_tokens,
+    open_delivery,
+)
 from ..mq import messages as frames
 from ..mq.messages import JmsFrame
 from ..obs import profile as obs
@@ -223,6 +229,7 @@ class LiveSubscriber:
         self.cpabe = HybridCPABE(group)
         self.stats = SubscriberStats()
         self.tokens: list[tuple[Interest, HVEToken]] = []
+        self._dedup: GuidDeduper | None = GuidDeduper()
         self._delivery_event = asyncio.Event()
         endpoint.serve(frames.DELIVER, self._on_deliver)
 
@@ -314,6 +321,12 @@ class LiveSubscriber:
             self.stats.non_matches += 1
             return
         self.stats.matches += 1
+        if self._dedup is not None and self._dedup.seen(guid):
+            # duplicated DELIVER frame: this GUID's retrieve pipeline
+            # already ran — same at-most-once boundary as the simulator
+            self.stats.duplicates_suppressed += 1
+            obs.record_op("subscriber.duplicate_suppressed")
+            return
         await self._retrieve(guid, envelope.publication_id, parent=span)
 
     async def _retrieve(self, guid: bytes, publication_id: int, parent=None) -> None:

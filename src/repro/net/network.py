@@ -110,6 +110,7 @@ class Network:
         self.hosts: dict[str, Host] = {}
         self.trace: list[WireRecord] = []
         self._drop_filter: Callable[[str, str, Message], bool] | None = None
+        self._fault_injector: Callable[[str, str, Message, float], list[float]] | None = None
 
     def add_host(self, name: str, bandwidth_bps: float | None = None) -> Host:
         if name in self.hosts:
@@ -127,6 +128,23 @@ class Network:
     def set_drop_filter(self, predicate: Callable[[str, str, Message], bool] | None) -> None:
         """Failure injection: drop transmissions for which ``predicate`` is true."""
         self._drop_filter = predicate
+
+    def set_fault_injector(
+        self, injector: Callable[[str, str, Message, float], list[float]] | None
+    ) -> None:
+        """Chaos seam (see :mod:`repro.chaos`): rewrite delivery scheduling.
+
+        The injector is consulted once per transmission with
+        ``(src, dst, message, base_delay)`` and returns the list of
+        delivery delays for this frame: ``[base_delay]`` passes it
+        through untouched, ``[]`` drops it on the wire, a larger delay
+        holds it back (delay/reorder), and multiple entries deliver
+        duplicate copies.  Serialization, the wire trace, and byte
+        accounting on the sender are unaffected — faults happen *after*
+        the frame left the egress interface, exactly where a lossy
+        network would lose it.
+        """
+        self._fault_injector = injector
 
     def transmit(self, src: Host, dst_name: str, message: Message) -> float:
         """Serialize on ``src``'s egress, then deliver after the fixed latency.
@@ -160,8 +178,16 @@ class Network:
                 )
         if self._drop_filter is not None and self._drop_filter(src.name, dst_name, message):
             return arrival  # silently lost on the wire
-        delay = arrival - self.sim.now
+        base_delay = arrival - self.sim.now
+        if self._fault_injector is None:
+            delays = (base_delay,)
+        else:
+            delays = self._fault_injector(src.name, dst_name, message, base_delay)
+        for delay in delays:
+            self._schedule_delivery(src.name, dst, message, delay)
+        return arrival
 
+    def _schedule_delivery(self, src_name: str, dst: Host, message: Message, delay: float) -> None:
         def deliver() -> None:
             dst.bytes_received += message.size_bytes
             active = obs.active()
@@ -169,7 +195,6 @@ class Network:
                 active.metrics.observe(
                     "net.inbox_depth", len(dst.inbox), host=dst.name
                 )
-            dst.inbox.put((src.name, message))
+            dst.inbox.put((src_name, message))
 
         self.sim.schedule(delay, deliver)
-        return arrival

@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable
 
-from ..errors import NetworkError
+from ..errors import NetworkError, TransportError
 from .channel import SecureChannelLayer
 from .simulator import Event
 
@@ -65,16 +65,36 @@ class RpcEndpoint:
         payload: Any,
         size_bytes: int,
         headers: dict[str, Any] | None = None,
+        timeout_s: float | None = None,
     ) -> Event:
         """Send a request; the returned event fires with the response payload.
 
         ``headers`` are merged into the RPC frame headers — the carrier
         for simulation-side metadata such as the observability span
         context (none of it is accounted in ``size_bytes``).
+
+        ``timeout_s`` bounds the wait: when no response lands in time
+        the event fails with :class:`TransportError`, mirroring the
+        live endpoint's ``call_timeout_s``.  Without it a request or
+        response lost on the wire would park the caller forever — the
+        timeout is what turns a chaos drop into a retryable error.
         """
         correlation = next(self._correlation)
         reply = self.sim.event()
         self._pending[correlation] = reply
+        if timeout_s is not None:
+            def _expire(corr: int = correlation, reply: Event = reply) -> None:
+                if self._pending.pop(corr, None) is not None and not reply.triggered:
+                    reply.fail(
+                        TransportError(f"{self.name}: call {msg_type} to {dst} timed out")
+                    )
+
+            # non-daemon on purpose: a parked caller is not in the event
+            # queue, so if the expiry did not hold the run open, run()
+            # would declare quiescence with the call still outstanding
+            # and the timeout would never fire.  On success the expiry
+            # is a no-op (the correlation is gone from _pending).
+            self.sim.schedule(timeout_s, _expire)
         self.channel.send(
             dst,
             msg_type,

@@ -240,3 +240,13 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         return len(self._queue)
+
+    @property
+    def quiescent(self) -> bool:
+        """True when only daemon events remain — ``run()`` would return.
+
+        The chaos liveness invariant keys off this: after the fault
+        window closes and the system runs to quiescence, no protocol
+        process may still be parked on an event that will never fire.
+        """
+        return self._non_daemon_count == 0

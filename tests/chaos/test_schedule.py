@@ -1,0 +1,210 @@
+"""Schedules: seeded generation, serialization, matching, injection, shrinking."""
+
+import pytest
+
+from repro.chaos.inject import SimFaultInjector
+from repro.chaos.schedule import (
+    FAULT_KINDS,
+    PROFILES,
+    Fault,
+    FaultSchedule,
+    minimize_schedule,
+)
+from repro.net.network import Message, Network
+from repro.net.simulator import Simulator
+
+SUBS = ["sub00", "sub01", "sub02"]
+
+
+class TestFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("meteor", 0.0, 1.0)
+
+    def test_window_is_half_open(self):
+        fault = Fault("drop", 1.0, 2.0)
+        assert not fault.in_window(0.999)
+        assert fault.in_window(1.0)
+        assert fault.in_window(1.999)
+        assert not fault.in_window(2.0)
+
+    def test_link_matching_exact_wildcard_prefix(self):
+        assert Fault("drop", 0, 1, src="anon", dst="rs").matches_link("anon", "rs")
+        assert not Fault("drop", 0, 1, src="anon", dst="rs").matches_link("rs", "anon")
+        assert Fault("drop", 0, 1, src="*", dst="sub*").matches_link("ds", "sub07")
+        assert not Fault("drop", 0, 1, src="*", dst="sub*").matches_link("ds", "pub")
+
+    def test_partition_matches_either_direction(self):
+        fault = Fault("partition", 0, 1, node="anon")
+        assert fault.matches_link("anon", "rs")
+        assert fault.matches_link("sub00", "anon")
+        assert not fault.matches_link("ds", "sub00")
+
+    def test_dict_round_trip_preserves_everything(self):
+        fault = Fault("duplicate", 0.1, 0.9, src="ds", dst="sub*", delay_s=0.05, hits=(2, 4))
+        assert Fault.from_dict(fault.to_dict()) == fault
+
+
+class TestGeneration:
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.generate(31, "default", SUBS)
+        b = FaultSchedule.generate(31, "default", SUBS)
+        assert a == b
+        assert a.to_json() == b.to_json()
+
+    def test_different_seeds_differ(self):
+        assert FaultSchedule.generate(1, "heavy", SUBS) != FaultSchedule.generate(2, "heavy", SUBS)
+
+    def test_json_round_trip(self):
+        schedule = FaultSchedule.generate(7, "ci", SUBS)
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_profiles_generate_valid_faults(self, profile):
+        schedule = FaultSchedule.generate(11, profile, SUBS)
+        assert len(schedule.faults) == PROFILES[profile].n_faults
+        for fault in schedule.faults:
+            assert fault.kind in FAULT_KINDS
+            assert fault.end > fault.start >= 0.0
+
+    def test_loss_faults_only_on_retried_links(self):
+        """Drops must never land on the unacknowledged publish/fan-out casts."""
+        retried = {("anon", "rs"), ("rs", "anon")}
+        for name in SUBS:
+            retried |= {(name, "anon"), ("anon", name)}
+        for seed in range(30):
+            for fault in FaultSchedule.generate(seed, "heavy", SUBS).faults:
+                if fault.kind == "drop":
+                    assert (fault.src, fault.dst) in retried
+                elif fault.kind == "partition":
+                    assert fault.node == "anon"
+
+    def test_without_removes_one_fault(self):
+        schedule = FaultSchedule.generate(7, "default", SUBS)
+        shrunk = schedule.without(2)
+        assert len(shrunk.faults) == len(schedule.faults) - 1
+        assert schedule.faults[2] not in shrunk.faults or (
+            schedule.faults.count(schedule.faults[2]) > 1
+        )
+
+
+def _wired_pair():
+    sim = Simulator()
+    network = Network(sim, latency_s=0.01)
+    src = network.add_host("a")
+    network.add_host("b")
+    return sim, network, src
+
+
+def _send(src, n=1):
+    for _ in range(n):
+        src.send("b", Message("m", b"x", size_bytes=10))
+
+
+class TestSimFaultInjector:
+    """Injector semantics against a bare two-host network."""
+
+    def _run(self, faults, n=3):
+        sim, network, src = _wired_pair()
+        schedule = FaultSchedule(seed=0, profile="unit", faults=tuple(faults))
+        injector = SimFaultInjector(schedule, sim)
+        network.set_fault_injector(injector)
+        _send(src, n)
+        sim.run()
+        return sim, network, injector
+
+    def test_drop_loses_selected_frames(self):
+        sim, network, injector = self._run([Fault("drop", 0.0, 1.0, src="a", dst="b", hits=(2,))])
+        assert len(network.host("b").inbox) == 2
+        assert sum(injector.applied.values()) == 1
+
+    def test_drop_without_hits_loses_everything_in_window(self):
+        _, network, _ = self._run([Fault("drop", 0.0, 1.0, src="a", dst="b")])
+        assert len(network.host("b").inbox) == 0
+
+    def test_partition_cuts_both_directions(self):
+        sim = Simulator()
+        network = Network(sim, latency_s=0.01)
+        a = network.add_host("a")
+        b = network.add_host("b")
+        schedule = FaultSchedule(
+            seed=0, profile="unit", faults=(Fault("partition", 0.0, 1.0, node="a"),)
+        )
+        network.set_fault_injector(SimFaultInjector(schedule, sim))
+        a.send("b", Message("m", b"x", size_bytes=10))
+        b.send("a", Message("m", b"y", size_bytes=10))
+        sim.run()
+        assert len(network.host("a").inbox) == 0
+        assert len(network.host("b").inbox) == 0
+
+    def test_duplicate_delivers_twice(self):
+        _, network, injector = self._run(
+            [Fault("duplicate", 0.0, 1.0, src="a", dst="b", delay_s=0.05, hits=(1,))], n=1
+        )
+        assert len(network.host("b").inbox) == 2
+
+    def test_delay_defers_delivery(self):
+        sim, network, _ = self._run(
+            [Fault("delay", 0.0, 1.0, src="a", dst="b", delay_s=0.5)], n=1
+        )
+        # base latency 0.01 plus 0.5 injected
+        assert sim.now >= 0.5
+        assert len(network.host("b").inbox) == 1
+
+    def test_faults_outside_window_do_nothing(self):
+        _, network, injector = self._run([Fault("drop", 5.0, 6.0, src="a", dst="b")])
+        assert len(network.host("b").inbox) == 3
+        assert not injector.applied
+
+    def test_epoch_shifts_the_window(self):
+        """arm() rebases windows: a [0, 1) fault armed at t=5 applies at t=5."""
+        sim, network, src = _wired_pair()
+        schedule = FaultSchedule(
+            seed=0, profile="unit", faults=(Fault("drop", 0.0, 1.0, src="a", dst="b"),)
+        )
+        injector = SimFaultInjector(schedule, sim)
+        network.set_fault_injector(injector)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        injector.arm(epoch=sim.now)
+        _send(src)
+        sim.run()
+        assert len(network.host("b").inbox) == 0
+
+    def test_applied_summary_is_deterministic_shape(self):
+        _, _, injector = self._run([Fault("drop", 0.0, 1.0, src="a", dst="b", hits=(1, 3))])
+        summary = injector.applied_summary()
+        assert summary == [
+            {"fault": 0, "kind": "drop", "src": "a", "dst": "b", "count": 2}
+        ]
+
+
+class TestMinimizeSchedule:
+    def test_shrinks_to_single_culprit(self):
+        faults = tuple(
+            Fault("delay", 0.0, 1.0, src="a", dst="b", delay_s=0.01) for _ in range(4)
+        ) + (Fault("drop", 0.0, 1.0, src="x", dst="y"),)
+        schedule = FaultSchedule(seed=0, profile="unit", faults=faults)
+
+        def still_fails(candidate):
+            return any(f.kind == "drop" for f in candidate.faults)
+
+        minimal = minimize_schedule(schedule, still_fails)
+        assert len(minimal.faults) == 1
+        assert minimal.faults[0].kind == "drop"
+
+    def test_keeps_jointly_necessary_pair(self):
+        faults = (
+            Fault("drop", 0.0, 1.0, src="a", dst="b"),
+            Fault("delay", 0.0, 1.0, src="c", dst="d", delay_s=0.1),
+            Fault("duplicate", 0.0, 1.0, src="e", dst="f", delay_s=0.1),
+        )
+        schedule = FaultSchedule(seed=0, profile="unit", faults=faults)
+        kinds_needed = {"drop", "duplicate"}
+
+        def still_fails(candidate):
+            return kinds_needed <= {f.kind for f in candidate.faults}
+
+        minimal = minimize_schedule(schedule, still_fails)
+        assert {f.kind for f in minimal.faults} == kinds_needed
+        assert len(minimal.faults) == 2
