@@ -142,10 +142,16 @@ def check_privacy(system, payloads: Iterable[bytes]) -> list[InvariantResult]:
                 claim.claim if claim.holds else f"{claim.claim} — {claim.evidence}",
             )
         )
-    # No payload plaintext in anything the RS persisted: the CP-ABE
-    # pipeline must keep content sealed even across retried/duplicated
-    # submissions.  Scans raw engine values (framing + ciphertext).
-    stored = [value for _key, value in system.rs.store.engine.items("items")]
+    # No payload plaintext in anything any RS shard persisted: the
+    # CP-ABE pipeline must keep content sealed even across retried/
+    # duplicated submissions and replica handoffs.  Scans raw engine
+    # values (framing + ciphertext).
+    rs_shards = list(getattr(system, "rs_shards", {"rs": system.rs}).values())
+    stored = [
+        value
+        for rs in rs_shards
+        for _key, value in rs.store.engine.items("items")
+    ]
     payload_list = list(payloads)
     leaked = sorted(
         _decode(
@@ -168,7 +174,9 @@ def check_privacy(system, payloads: Iterable[bytes]) -> list[InvariantResult]:
     # anonymization must hold across every retry attempt, not just the
     # first request.
     subscriber_names = set(system.subscribers)
-    seen = set(system.rs.observed_sources) | set(system.pbe_ts.observed_sources)
+    seen = set(system.pbe_ts.observed_sources)
+    for rs in rs_shards:
+        seen |= set(rs.observed_sources)
     identified = sorted(subscriber_names & seen)
     results.append(
         InvariantResult(

@@ -121,7 +121,16 @@ def run_chaos(
     own_tmp = data_dir is None and prof.durable
     if own_tmp:
         data_dir = tempfile.mkdtemp(prefix="p3s-chaos-")
-    config = P3SConfig(schema=chaos_schema())
+    # chaos always publishes reliably: the schedule generator may drop
+    # publish frames (pub -> ds is in the retried pool), and the
+    # PUBACK/retransmit protocol is what makes that loss recoverable
+    config = P3SConfig(
+        schema=chaos_schema(),
+        ds_shards=prof.ds_shards,
+        rs_shards=prof.rs_shards,
+        rs_replication=prof.rs_replication,
+        reliable_publish=True,
+    )
     if prof.durable:
         config = config.with_(
             store_backend="wal",
@@ -209,33 +218,41 @@ def run_chaos(
         return report
     finally:
         if system is not None:
-            system.ds.close_match_pool()
-            if prof.durable:
-                system.rs.store.engine.close()
-                system.ds.store.close()
+            system.close()
         if own_tmp:
             shutil.rmtree(data_dir, ignore_errors=True)
 
 
 def _check_store_durability(system, data_dir: str) -> list[InvariantResult]:
-    """Crash-and-recover the RS engine in place, then compare states.
+    """Crash-and-recover every RS shard's engine in place, then compare.
 
     The committed state is what the engine answers *now* (every write of
     the run completed); the crash is simulated the way the store battery
     does it — drop the handle without close, reopen the directory — so
     recovery runs the real WAL replay path under whatever append/snapshot
-    interleaving the faulted network traffic produced.
+    interleaving the faulted network traffic produced.  Sharded profiles
+    check each shard's directory and label the results so a failing
+    replica is identifiable; single-shard reports keep the historical
+    unlabelled names.
     """
-    engine = system.rs.store.engine
-    committed = dict(engine.items("items"))
-    rs_dir = os.path.join(data_dir, "rs")
-    # a real crash runs no destructors: abandon the handle, reopen fresh
-    recovered_engine = WalEngine(rs_dir, fsync=False)
-    try:
-        recovered = dict(recovered_engine.items("items"))
-    finally:
-        recovered_engine.close()
-    return check_durability(committed, recovered)
+    results: list[InvariantResult] = []
+    multi = len(system.rs_shards) > 1
+    for name, rs in sorted(system.rs_shards.items()):
+        committed = dict(rs.store.engine.items("items"))
+        # a real crash runs no destructors: abandon the handle, reopen fresh
+        recovered_engine = WalEngine(os.path.join(data_dir, name), fsync=False)
+        try:
+            recovered = dict(recovered_engine.items("items"))
+        finally:
+            recovered_engine.close()
+        rows = check_durability(committed, recovered)
+        if multi:
+            rows = [
+                InvariantResult(row.family, f"{row.name}[{name}]", row.passed, row.detail)
+                for row in rows
+            ]
+        results += rows
+    return results
 
 
 def minimize(

@@ -23,13 +23,20 @@ phase) and match links by ``src``/``dst`` pattern (``"*"`` wildcard,
 ordinals per fault) are affected; empty means all of them.
 
 Schedule *generation* is deliberately budget-aware: loss-type faults
-(drop, partition) are only generated on the retrieval path — subscriber
-↔ anonymizer ↔ RS — where the protocol carries a retry budget, never on
-the unacknowledged publish/fan-out casts whose loss no amount of
-retrying can repair (see ``docs/CHAOS.md`` for the fault-model
-rationale).  Replayed or hand-built schedules can of course place
-faults anywhere, which is exactly how the invariant checker's mutation
-tests manufacture failing runs on purpose.
+(drop, partition) are only generated on *retried* paths — the retrieval
+path (subscriber ↔ anonymizer ↔ RS), and, since the reliable-publish
+upgrade (PUBACK + bounded retransmit, see ``repro.mq.client``), the
+publisher → DS publish path too.  The remaining unacknowledged casts
+(DS → RS store, DS → subscriber deliver) get delay/reorder/duplicate
+only: loss there is unrecoverable by client retrying (see
+``docs/CHAOS.md`` for the fault-model rationale).  Replayed or
+hand-built schedules can of course place faults anywhere, which is
+exactly how the invariant checker's mutation tests manufacture failing
+runs on purpose.
+
+Sharded profiles (``ds_shards``/``rs_shards`` > 1) generate faults
+against the shard names (``ds0``, ``rs1``, …) and may partition an RS
+replica — replication plus retrieval failover must absorb it.
 """
 
 from __future__ import annotations
@@ -38,6 +45,8 @@ import json
 import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
+
+from ..cluster.router import shard_names
 
 __all__ = [
     "FAULT_KINDS",
@@ -139,6 +148,18 @@ class Profile:
     call_timeout_s: float = 0.6
     # exercise the durability invariant against a WAL-backed RS
     durable: bool = False
+    # -- sharded topology (repro.cluster) ---------------------------------
+    # shard counts handed to P3SConfig; 1/1 keeps the classic
+    # single-node names ("ds", "rs") so existing profiles replay the
+    # same schedules byte-for-byte
+    ds_shards: int = 1
+    rs_shards: int = 1
+    rs_replication: int = 1
+    # partition faults pick their victim from this pool.  The anonymizer
+    # sits exclusively on the retried path, so it is always safe; an RS
+    # *replica* is safe only under replication >= 2 (the other replica
+    # plus retrieval failover absorbs the outage).
+    partition_targets: tuple[str, ...] = ("anon",)
 
 
 PROFILES: dict[str, Profile] = {
@@ -150,6 +171,12 @@ PROFILES: dict[str, Profile] = {
         Profile("heavy", 12, FAULT_KINDS, subscribers=4, publications=6,
                 horizon_s=4.0, durable=True),
         Profile("partition", 3, ("partition", "drop"), durable=False),
+        # sharded cluster under fire: 2 DS x 2 RS shards, 2-way
+        # replication, durable stores; partitions may isolate an RS
+        # replica and the invariants must still hold
+        Profile("shard", 6, FAULT_KINDS, durable=True,
+                ds_shards=2, rs_shards=2, rs_replication=2,
+                partition_targets=("anon", "rs1")),
     )
 }
 
@@ -201,22 +228,35 @@ class FaultSchedule:
 
         Link pools by loss class:
 
-        * *retried* links (sub ↔ anon, anon ↔ rs): any fault kind —
-          the retrieval retry budget absorbs loss here;
-        * *benign* links (pub → ds, ds → sub, ds → rs): delay /
-          reorder / duplicate only — loss on these unacknowledged
+        * *retried* links (sub ↔ anon, anon ↔ rs, pub → ds): any fault
+          kind — the retrieval retry budget absorbs loss on the first
+          two; the PUBACK/retransmit protocol (the chaos runner always
+          enables ``reliable_publish``) absorbs it on the third;
+        * *benign* links (ds → sub, ds → rs): delay / reorder /
+          duplicate only — loss on these DS-originated unacknowledged
           casts would be unrecoverable by design (documented gap);
-        * partitions target the anonymizer only: it sits exclusively
-          on the retried path, so a closed window always heals.
+        * partitions pick a victim from ``profile.partition_targets``
+          (the anonymizer by default; sharded profiles may add an RS
+          replica).
+
+        Sharded profiles expand "ds"/"rs" into their shard names, so
+        faults land on real links.
         """
         prof = PROFILES[profile] if isinstance(profile, str) else profile
         rng = random.Random(seed)
         subs = list(subscriber_names)
-        retried: list[tuple[str, str]] = [("anon", "rs"), ("rs", "anon")]
+        ds_names = shard_names("ds", prof.ds_shards)
+        rs_names = shard_names("rs", prof.rs_shards)
+        retried: list[tuple[str, str]] = []
+        for rs in rs_names:
+            retried += [("anon", rs), (rs, "anon")]
         for name in subs:
             retried += [(name, "anon"), ("anon", name)]
-        benign = list(retried) + [(publisher_name, "ds"), ("ds", "rs")]
-        benign += [("ds", name) for name in subs]
+        for ds in ds_names:
+            retried.append((publisher_name, ds))
+        benign = list(retried)
+        benign += [(ds, rs) for ds in ds_names for rs in rs_names]
+        benign += [(ds, name) for ds in ds_names for name in subs]
         faults: list[Fault] = []
         for _ in range(prof.n_faults):
             kind = rng.choice(prof.kinds)
@@ -224,7 +264,9 @@ class FaultSchedule:
             length = round(rng.uniform(0.3, prof.horizon_s * 0.5), 3)
             if kind == "partition":
                 end = round(start + min(length, prof.max_partition_s), 3)
-                faults.append(Fault(kind, start, end, node="anon"))
+                faults.append(
+                    Fault(kind, start, end, node=rng.choice(prof.partition_targets))
+                )
                 continue
             end = round(start + length, 3)
             if kind == "drop":

@@ -16,6 +16,9 @@
     python -m repro live status --state p3s.state     # health + op totals (or in-process demo)
     python -m repro live top --state p3s.state        # refreshing per-service throughput view
     python -m repro live init --state p3s.state --data-dir ./p3s-data   # durable deployment
+    python -m repro live init --state p3s.state --ds-shards 2 --rs-shards 2 --replication 2
+    python -m repro live serve-ds --state p3s.state --name ds1   # serve one shard
+    python -m repro cluster status --json             # sharded topology + membership
     python -m repro store inspect ./p3s-data/rs       # keyless store-file dump
     python -m repro chaos run --seed 7 --profile ci   # seeded fault-injection run
     python -m repro chaos run --seed 7 --minimize     # shrink a failing schedule
@@ -210,7 +213,11 @@ def _cmd_live_init(args) -> None:
     from .core.config import P3SConfig
     from .live.runner import init_state
 
-    config = P3SConfig()
+    config = P3SConfig(
+        ds_shards=args.ds_shards,
+        rs_shards=args.rs_shards,
+        rs_replication=args.replication,
+    )
     if args.store_backend:
         config = config.with_(store_backend=args.store_backend)
     state = init_state(
@@ -222,6 +229,12 @@ def _cmd_live_init(args) -> None:
     )
     plan = ", ".join(f"{name}={port}" for name, port in state.ports.items())
     print(f"wrote deployment state to {args.state} ({plan})")
+    if state.cluster is not None:
+        print(
+            f"sharded topology: {len(state.cluster.ds_names)} DS x "
+            f"{len(state.cluster.rs_names)} RS, "
+            f"replication {state.cluster.rs_replication}"
+        )
     if state.data_dir is not None:
         print(
             f"durable stores ({state.config.store_backend}) under {state.data_dir}"
@@ -246,8 +259,11 @@ def _make_serve_cmd(role: str):
 
         from .live.runner import load_state, serve_role
 
+        # sharded bundles name their services ds0/ds1/rs0/…; --name picks
+        # which shard this process serves (default: the classic name)
+        name = getattr(args, "name", None) or role
         try:
-            asyncio.run(serve_role(role, load_state(args.state)))
+            asyncio.run(serve_role(name, load_state(args.state)))
         except KeyboardInterrupt:
             pass
 
@@ -347,10 +363,11 @@ def _cmd_live_status(args) -> None:
     import json
 
     if args.state:
-        from .live.runner import SERVICE_ROLES, load_state
+        from .live.runner import load_state, service_roles
 
+        state = load_state(args.state)
         aggregator = asyncio.run(
-            _scrape_deployment_state(load_state(args.state), SERVICE_ROLES)
+            _scrape_deployment_state(state, service_roles(state))
         )
     else:
         # no running deployment to poll: stand one up in-process, run the
@@ -396,15 +413,16 @@ async def _live_top(args) -> None:
     driver: asyncio.Task | None = None
     stop = asyncio.Event()
     if args.state:
-        from .live.runner import SERVICE_ROLES, load_state
+        from .live.runner import load_state, service_roles
 
-        services = list(SERVICE_ROLES)
-        client = TelemetryClient(load_state(args.state).endpoint("top"), services)
+        state = load_state(args.state)
+        services = list(service_roles(state))
+        client = TelemetryClient(state.endpoint("top"), services)
     else:
         # self-driving mode: in-process deployment plus a background
         # publisher so the view has live traffic to show
         from .core.config import P3SConfig
-        from .live.deployment import SERVICE_NAMES, LiveDeployment
+        from .live.deployment import LiveDeployment
         from .obs import Observability
         from .obs.ring import DEFAULT_FLIGHT_RECORDER_CAPACITY
         from .pbe.schema import Interest
@@ -428,7 +446,7 @@ async def _live_top(args) -> None:
                 await asyncio.sleep(0.05)
 
         driver = asyncio.ensure_future(_drive())
-        services = list(SERVICE_NAMES)
+        services = list(deployment.service_names)
         client = deployment.telemetry_client("top")
 
     aggregator = TelemetryAggregator(latency_window=args.window)
@@ -504,6 +522,83 @@ def _cmd_live_top(args) -> None:
         pass
 
 
+def _cmd_cluster_status(args) -> None:
+    import json
+
+    if args.state:
+        # topology from a provisioned multi-process bundle (no I/O to the
+        # services — this reads the signed registration material)
+        from .live.runner import load_state, service_roles
+
+        state = load_state(args.state)
+        status = {
+            "sharded": state.cluster is not None,
+            "roles": list(service_roles(state)),
+            "ports": dict(state.ports),
+        }
+        if state.cluster is not None:
+            status["cluster"] = state.cluster.describe()
+    else:
+        # no bundle: stand up an in-process *simulated* sharded system,
+        # run the demo scenario through it, and report live counters —
+        # membership, per-shard items/publications, keyspace shares
+        from .core import P3SConfig, P3SSystem
+        from .pbe import Interest
+
+        config = P3SConfig(
+            ds_shards=args.ds_shards,
+            rs_shards=args.rs_shards,
+            rs_replication=args.replication,
+        )
+        system = P3SSystem(config)
+        try:
+            alice = system.add_subscriber("alice", {"clearance"})
+            system.subscribe(alice, Interest({"attr00": "v01"}))
+            system.run()
+            publisher = system.add_publisher("pub")
+            system.run()
+            for tick in range(args.publications):
+                publisher.publish(
+                    _demo_metadata(attr00="v01"),
+                    f"cluster demo {tick}".encode(),
+                    policy="clearance",
+                )
+            system.run()
+            status = system.cluster_status()
+        finally:
+            system.close()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True, default=str))
+        return
+    print(f"sharded: {status.get('sharded')}")
+    for key in ("ds_shards", "rs_shards", "roles"):
+        if key in status:
+            print(f"{key}: {', '.join(status[key])}")
+    if "membership" in status:
+        rows = [
+            [m["name"], m["role"], "yes" if m["alive"] else "NO",
+             str(m["failures"]), str(m["recoveries"])]
+            for m in status["membership"]
+        ]
+        print(format_table(
+            ["member", "role", "alive", "failures", "recoveries"],
+            rows, title="cluster membership",
+        ))
+    for key in ("rs_items", "ds_publications"):
+        if key in status:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(status[key].items()))
+            print(f"{key}: {parts}")
+    cluster = status.get("cluster")
+    if cluster:
+        print(f"replication: {cluster['rs_replication']}, vnodes: {cluster['vnodes']}")
+        for ring in ("ds_keyspace_share", "rs_keyspace_share"):
+            if ring in cluster:
+                parts = ", ".join(
+                    f"{k}={v:.2%}" for k, v in sorted(cluster[ring].items())
+                )
+                print(f"{ring}: {parts}")
+
+
 def _cmd_chaos_run(args) -> None:
     from .chaos import FaultSchedule, minimize, run_chaos
 
@@ -552,11 +647,12 @@ def _cmd_chaos_profiles(args) -> None:
 
     rows = [
         [p.name, str(p.n_faults), ",".join(p.kinds),
-         f"{p.subscribers}x{p.publications}", "yes" if p.durable else "no"]
+         f"{p.subscribers}x{p.publications}", "yes" if p.durable else "no",
+         f"{p.ds_shards}DSx{p.rs_shards}RS r{p.rs_replication}"]
         for p in PROFILES.values()
     ]
     print(format_table(
-        ["profile", "faults", "kinds", "subs x pubs", "durable"],
+        ["profile", "faults", "kinds", "subs x pubs", "durable", "topology"],
         rows,
         title="chaos fault profiles",
     ))
@@ -627,6 +723,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--store-backend", choices=["wal", "sqlite"], default=None,
         help="storage backend when --data-dir is given (default wal)",
     )
+    live_init.add_argument(
+        "--ds-shards", type=int, default=1, metavar="N",
+        help="DS shard count (>1 provisions ds0..dsN-1; see docs/CLUSTER.md)",
+    )
+    live_init.add_argument(
+        "--rs-shards", type=int, default=1, metavar="N",
+        help="RS shard count (>1 provisions rs0..rsN-1)",
+    )
+    live_init.add_argument(
+        "--replication", type=int, default=1, metavar="R",
+        help="RS items are written to R ring-successor shards (capped at "
+             "--rs-shards)",
+    )
     live_init.set_defaults(func=_cmd_live_init)
 
     for role in ("ds", "rs", "pbe-ts", "anon"):
@@ -634,6 +743,12 @@ def build_parser() -> argparse.ArgumentParser:
             f"serve-{role}", help=f"serve the {role} from a state bundle"
         )
         serve.add_argument("--state", required=True, metavar="FILE")
+        if role in ("ds", "rs"):
+            serve.add_argument(
+                "--name", default=None, metavar="SHARD",
+                help=f"shard to serve from a sharded bundle (e.g. {role}0); "
+                     f"default: {role}",
+            )
         serve.set_defaults(func=_make_serve_cmd(role))
 
     live_run = live_sub.add_parser(
@@ -678,6 +793,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="append sweeps instead of clearing the screen (for logs/CI)",
     )
     live_top.set_defaults(func=_cmd_live_top)
+
+    cluster = sub.add_parser(
+        "cluster", help="sharded-topology tools (see docs/CLUSTER.md)"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    cluster_status = cluster_sub.add_parser(
+        "status",
+        help="topology + membership report: from a live state bundle "
+             "(--state), or by running a demo workload through an "
+             "in-process sharded simulation",
+    )
+    cluster_status.add_argument(
+        "--state", metavar="FILE", default=None,
+        help="read topology from a `live init` bundle instead of simulating",
+    )
+    cluster_status.add_argument("--ds-shards", type=int, default=2, metavar="N")
+    cluster_status.add_argument("--rs-shards", type=int, default=2, metavar="N")
+    cluster_status.add_argument("--replication", type=int, default=2, metavar="R")
+    cluster_status.add_argument(
+        "--publications", type=int, default=6, metavar="N",
+        help="demo publications to route through the simulated cluster",
+    )
+    cluster_status.add_argument("--json", action="store_true", help="emit JSON")
+    cluster_status.set_defaults(func=_cmd_cluster_status)
 
     chaos = sub.add_parser("chaos", help="seeded fault injection + invariant checks")
     chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)

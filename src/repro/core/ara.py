@@ -52,6 +52,11 @@ class ServiceDirectory:
     rs_public_key: PKEPublicKey | None = None
     pbe_ts_public_key: PKEPublicKey | None = None
     ara_verify_key: VerifyKey | None = None
+    # repro.cluster.ClusterMap for sharded deployments, or None for the
+    # classic single-DS/single-RS topology.  Credentials embed this
+    # directory by reference, so topology changes made through the map
+    # (add_ds/add_rs) reach every client without re-registration.
+    cluster: object | None = None
 
 
 @dataclass(frozen=True)

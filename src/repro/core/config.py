@@ -113,6 +113,24 @@ class P3SConfig:
     store_fsync: bool = True
     # WAL records between automatic snapshot+compaction passes
     store_snapshot_every: int = 1024
+    # -- horizontal scaling (repro.cluster; see docs/CLUSTER.md) --
+    # Shard counts for the DS and RS tiers.  1/1 (default) is the
+    # classic single-node topology with no cluster machinery at all;
+    # anything larger builds a ClusterMap (consistent-hash rings over
+    # "ds0..", "rs0..") carried in the ServiceDirectory.  Publications
+    # route to the GUID's DS shard; RS items are written to
+    # ``rs_replication`` ring successors and retrieval fails over
+    # across them.
+    ds_shards: int = 1
+    rs_shards: int = 1
+    rs_replication: int = 1
+    # -- reliable publish (PUBACK + bounded retransmit; see docs/CHAOS.md) --
+    # When True publishers wait for the DS's PUBACK and retransmit with
+    # jittered exponential backoff, closing the unretried publish-cast
+    # gap.  Off by default for the same reason call_timeout_s defaults
+    # to None: the ack timeout holds the simulation open past
+    # quiescence on loss-free runs.  The chaos runner always enables it.
+    reliable_publish: bool = False
 
     def with_(self, **overrides) -> "P3SConfig":
         """A copy with the given fields replaced."""

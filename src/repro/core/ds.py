@@ -82,9 +82,14 @@ class DisseminationServer(Broker):
         timings: ComputeTimings | None = None,
         match_workers: int | None = None,
         store: StorageEngine | None = None,
+        cluster=None,
     ):
         super().__init__(host)
         self.rs_name = rs_name
+        # repro.cluster.ClusterMap (shared by reference through the
+        # ServiceDirectory): with one attached, payloads forward to the
+        # GUID's full RS replica set instead of the single rs_name
+        self.cluster = cluster
         self.metadata_topic = metadata_topic
         self.group = group
         self.timings = timings
@@ -223,7 +228,7 @@ class DisseminationServer(Broker):
             body=frame.body,
             body_size=frame.body_size,
             message_id=next(self._message_ids),
-            headers=dict(frame.headers),
+            headers=self.delivery_headers(frame),
         )
         obs.inject(delivery.headers, span)
         skipped = 0
@@ -259,18 +264,29 @@ class DisseminationServer(Broker):
         if self.store.durable:
             self.recovered_registrations = self._recover_registrations()
 
+    def _rs_targets(self, guid: bytes) -> tuple[str, ...]:
+        """The RS shards this payload is written to (the replica set)."""
+        if self.cluster is None or len(self.cluster.rs_names) <= 1:
+            return (self.rs_name,)
+        return self.cluster.rs_replicas(guid)
+
     def _forward_to_rs(self, frame: JmsFrame) -> None:
         submission: PayloadSubmission = frame.body
+        targets = self._rs_targets(submission.guid)
         with obs.span(
-            "ds.forward_rs", component=self.name, parent=obs.extract(frame.headers)
+            "ds.forward_rs",
+            component=self.name,
+            parent=obs.extract(frame.headers),
+            replicas=len(targets),
         ) as span:
-            self.channel.send(
-                self.rs_name,
-                RPC_STORE,
-                submission,
-                submission.wire_size,
-                headers=obs.inject({}, span),
-            )
+            for rs_name in targets:
+                self.channel.send(
+                    rs_name,
+                    RPC_STORE,
+                    submission,
+                    submission.wire_size,
+                    headers=obs.inject({}, span),
+                )
 
     @property
     def registered_subscriber_count(self) -> int:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from ..abe.hybrid import HybridCPABE
 from ..abe.policy import PolicyNode
 from ..abe.serialize import serialize_hybrid
+from ..cluster.router import ds_shard_for
 from ..crypto.group import PairingGroup
 from ..mq.client import JmsConnection
 from ..obs import profile as obs
@@ -90,12 +91,18 @@ class Publisher:
         timings: ComputeTimings,
         guid_bytes: int = 16,
         publish_topic: str = "p3s.publish",
+        reliable_publish: bool = False,
     ):
         self.credentials = credentials
         self.connection = connection
         self.group = group
         self.timings = timings
         self.guid_bytes = guid_bytes
+        # wait for the broker's PUBACK and retransmit on silence (the
+        # docs/CHAOS.md publish-path gap, closed).  Opt-in like the
+        # subscriber's call_timeout_s: the ack timeout is a non-daemon
+        # event, so it holds loss-free runs open past quiescence.
+        self.reliable_publish = reliable_publish
         self.hve = HVE(group)
         self.cpabe = HybridCPABE(group)
         self._producer = connection.create_session().create_producer(publish_topic)
@@ -142,6 +149,9 @@ class Publisher:
     def _publish_process(self, record: PublicationRecord, payload: bytes):
         record.submitted_at = self.sim.now
         schema = self.credentials.schema
+        # both frames of one publication go to the DS shard owning its
+        # GUID (single-node deployments resolve to the one "ds")
+        broker = ds_shard_for(self.credentials.directory, record.guid)
         root = obs.start_span(
             "publish",
             component=self.name,
@@ -163,10 +173,11 @@ class Publisher:
         record.metadata_bytes = len(hve_bytes)
         obs.end_span(step, bytes=record.metadata_bytes)
         envelope = EncryptedMetadata(hve_bytes=hve_bytes, publication_id=record.publication_id)
-        self._producer.send(
+        self._send(
             envelope,
             envelope.wire_size,
-            headers=obs.inject({"p3s-kind": KIND_METADATA}, root),
+            obs.inject({"p3s-kind": KIND_METADATA}, root),
+            broker,
         )
 
         # Step 3: CP-ABE-encrypt (GUID, payload) under the policy, send to DS→RS.
@@ -188,9 +199,23 @@ class Publisher:
         submission = PayloadSubmission(
             guid=record.guid, ciphertext=ciphertext, ttl_s=record.ttl_s
         )
-        self._producer.send(
+        self._send(
             submission,
             submission.wire_size,
-            headers=obs.inject({"p3s-kind": KIND_PAYLOAD}, root),
+            obs.inject({"p3s-kind": KIND_PAYLOAD}, root),
+            broker,
         )
         obs.end_span(root)
+
+    def _send(self, body, size: int, headers: dict, broker: str) -> None:
+        """One publish frame: a fire-and-forget cast, or (reliable mode)
+        a detached acked-retransmit process — detached so publish timing
+        on the loss-free path matches the classic cast exactly."""
+        if self.reliable_publish:
+            self.sim.process(
+                self._producer.send(
+                    body, size, headers=headers, broker=broker, reliable=True
+                )
+            )
+        else:
+            self._producer.send(body, size, headers=headers, broker=broker)

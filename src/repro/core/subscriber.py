@@ -26,6 +26,7 @@ from typing import Callable
 
 from ..abe.hybrid import HybridCPABE
 from ..abe.serialize import deserialize_hybrid
+from ..cluster.router import rs_replicas_for
 from ..crypto.group import PairingGroup
 from ..crypto.symmetric import SecretBox
 from ..errors import (
@@ -261,7 +262,11 @@ class Subscriber:
         if not self.delegate_tokens:
             return
         data = serialize_hve_token(self.group, token)
-        self._producer.send(data, len(data), headers={"p3s-kind": kind})
+        # every DS shard may own the next publication, so the token must
+        # be registered on all of them (matching compute per publication
+        # still lands on exactly one shard — that is what scales)
+        for broker in self.connection.broker_names:
+            self._producer.send(data, len(data), headers={"p3s-kind": kind}, broker=broker)
 
     def unsubscribe(self, interest: Interest) -> bool:
         """Drop the local token for ``interest``.
@@ -349,16 +354,20 @@ class Subscriber:
         )
         ciphertext_bytes = None
         attempt = 0
+        # the GUID's RS replica set: retries rotate through it, so a
+        # dead or partitioned replica costs one retry, not the item
+        replicas = rs_replicas_for(self.directory, guid)
         for attempt in range(self.retrieval_retries + 1):
             if attempt:
                 yield self.sim.timeout(self.retry_delay_s)
+            rs_name, rs_public_key = replicas[attempt % len(replicas)]
             session_key = SecretBox.generate_key()
             body = encode_retrieval_request(session_key, guid)
             yield self.sim.timeout(self.timings.pke_op)
-            request = self.directory.rs_public_key.encrypt(body)
+            request = rs_public_key.encrypt(body)
             try:
                 sealed = yield self._anonymized_call(
-                    self.directory.rs_name, RPC_RETRIEVE, request, span=span
+                    rs_name, RPC_RETRIEVE, request, span=span
                 )
             except TransportError:
                 # lost request or response (call_timeout_s fired): the

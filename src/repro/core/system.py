@@ -15,12 +15,22 @@ Typical use::
     record = bob.publish({"topic": "m&a", ...}, b"payload", policy="org:acme")
     system.run()
     deliveries = system.deliveries_for(record)
+
+Horizontal scaling (:mod:`repro.cluster`, docs/CLUSTER.md): with
+``P3SConfig(ds_shards=K, rs_shards=M, rs_replication=N)`` the same call
+builds K dissemination shards and M repository shards behind a
+:class:`~repro.cluster.ClusterMap` carried in the ServiceDirectory.
+``system.ds`` / ``system.rs`` keep pointing at the first shard, so
+single-node code and tests run unchanged; ``system.ds_shards`` /
+``system.rs_shards`` hold the full tier.
 """
 
 from __future__ import annotations
 
 import os
 
+from ..cluster import ClusterMap, MembershipTable, shard_names
+from ..cluster.rebalance import HandoffReport, copy_registrations, handoff_items
 from ..crypto.group import PairingGroup
 from ..mq.client import JmsConnection
 from ..net.network import Network
@@ -38,6 +48,9 @@ from .rs import RepositoryServer
 from .subscriber import Delivery, Subscriber
 
 __all__ = ["P3SSystem"]
+
+HEARTBEAT_INTERVAL_S = 1.0
+FAILURE_TIMEOUT_S = 3.5  # > 3 missed beats before a shard is declared dead
 
 
 class P3SSystem:
@@ -60,26 +73,47 @@ class P3SSystem:
         self.group = PairingGroup(self.config.param_set)
         self.ara = RegistrationAuthority(self.group, self.config.schema)
 
+        ds_names = shard_names("ds", self.config.ds_shards)
+        rs_names = shard_names("rs", self.config.rs_shards)
+        replication = max(1, min(self.config.rs_replication, len(rs_names)))
+        self.cluster: ClusterMap | None = None
+        if len(ds_names) > 1 or len(rs_names) > 1 or replication > 1:
+            self.cluster = ClusterMap(
+                ds_names=list(ds_names),
+                rs_names=list(rs_names),
+                rs_replication=replication,
+            )
+
         # --- third parties (Fig. 1) ---
-        self.rs = RepositoryServer(
-            self.network.add_host("rs"),
-            self.group,
-            self.config.timings,
-            t_g=self.config.t_g,
-            gc_interval_s=self.config.rs_gc_interval_s,
-            engine=self._open_store("rs"),
-        )
-        ds_host = self.network.add_host("ds")
-        ds_host.set_link_bandwidth("rs", self.config.lan_bandwidth_bps)
-        self.ds = DisseminationServer(
-            ds_host,
-            "rs",
-            self.config.metadata_topic,
-            group=self.group,
-            timings=self.config.timings,
-            match_workers=self.config.match_workers,
-            store=self._open_store("ds"),
-        )
+        self.rs_shards: dict[str, RepositoryServer] = {}
+        for name in rs_names:
+            self.rs_shards[name] = RepositoryServer(
+                self.network.add_host(name),
+                self.group,
+                self.config.timings,
+                t_g=self.config.t_g,
+                gc_interval_s=self.config.rs_gc_interval_s,
+                engine=self._open_store(name),
+            )
+        self.rs = self.rs_shards[rs_names[0]]
+
+        self.ds_shards: dict[str, DisseminationServer] = {}
+        for name in ds_names:
+            ds_host = self.network.add_host(name)
+            for rs_name in rs_names:
+                ds_host.set_link_bandwidth(rs_name, self.config.lan_bandwidth_bps)
+            self.ds_shards[name] = DisseminationServer(
+                ds_host,
+                rs_names[0],
+                self.config.metadata_topic,
+                group=self.group,
+                timings=self.config.timings,
+                match_workers=self.config.match_workers,
+                store=self._open_store(name),
+                cluster=self.cluster,
+            )
+        self.ds = self.ds_shards[ds_names[0]]
+
         hve = HVE(self.group)
         master_key, verify_key = self.ara.provision_pbe_ts()
         self.pbe_ts = PBETokenServer(
@@ -93,13 +127,30 @@ class P3SSystem:
         )
         self.anonymizer = AnonymizationService(self.network.add_host("anon"))
 
-        self.ara.install_service("ds", "ds")
-        self.ara.install_service("rs", "rs", self.rs.pke.public)
+        self.ara.install_service("ds", ds_names[0])
+        self.ara.install_service("rs", rs_names[0], self.rs.pke.public)
         self.ara.install_service("pbe_ts", "pbe-ts", self.pbe_ts.pke.public)
         self.ara.install_service("anonymizer", "anon")
+        if self.cluster is not None:
+            for name, rs in self.rs_shards.items():
+                self.cluster.rs_public_keys[name] = rs.pke.public
+            self.ara.directory.cluster = self.cluster
 
-        self.rs.start()
-        self.ds.start()
+        # membership: every shard joins at epoch; a daemon heartbeat
+        # process keeps the table current on sharded deployments and
+        # routes new publications away from dead DS shards
+        self.membership = MembershipTable(failure_timeout_s=FAILURE_TIMEOUT_S)
+        for name in ds_names:
+            self.membership.join(name, "ds", now=self.sim.now)
+        for name in rs_names:
+            self.membership.join(name, "rs", now=self.sim.now)
+        if self.cluster is not None:
+            self.sim.process(self._heartbeat_loop())
+
+        for rs in self.rs_shards.values():
+            rs.start()
+        for ds in self.ds_shards.values():
+            ds.start()
         self.pbe_ts.start()
         self.anonymizer.start()
 
@@ -111,7 +162,8 @@ class P3SSystem:
 
         With the default ``memory`` backend returns None so the service
         constructs its own MemoryEngine — exactly the historical
-        behaviour.
+        behaviour.  Shard names ("ds0", "rs1", …) each get their own
+        subtree, so shards never share store files.
         """
         backend = self.config.store_backend
         if backend == "memory":
@@ -131,11 +183,130 @@ class P3SSystem:
             component=role,
         )
 
+    # -- membership / failure detection (repro.cluster) ------------------------
+
+    def _heartbeat_loop(self):
+        """Daemon process: shards that are up heartbeat; silent ones are
+        swept dead and removed from the DS routing ring until they beat
+        again.  The RS ring is deliberately left static — replication
+        plus retrieval failover covers a dead replica, and churning the
+        ring on every flap would force rebalances mid-failure."""
+        while True:
+            yield self.sim.timeout(HEARTBEAT_INTERVAL_S, daemon=True)
+            now = self.sim.now
+            for name, ds in self.ds_shards.items():
+                if not ds.crashed:
+                    self.membership.heartbeat(name, now)
+            for name, rs in self.rs_shards.items():
+                if not rs.crashed:
+                    self.membership.heartbeat(name, now)
+            for name in self.membership.sweep(now):
+                if name in self.ds_shards:
+                    self.cluster.remove_ds(name)
+            for name in self.membership.alive("ds"):
+                if name in self.ds_shards and name not in self.cluster.ds_names:
+                    self.cluster.add_ds(name)
+
+    # -- elastic topology (repro.cluster.rebalance) ----------------------------
+
+    def _ensure_cluster(self) -> ClusterMap:
+        """Attach a ClusterMap to a classic single-node deployment the
+        first time its topology grows; existing credentials see it
+        immediately (the directory is embedded by reference)."""
+        if self.cluster is None:
+            self.cluster = ClusterMap(
+                ds_names=list(self.ds_shards),
+                rs_names=list(self.rs_shards),
+                rs_replication=max(1, self.config.rs_replication),
+                rs_public_keys={
+                    name: rs.pke.public for name, rs in self.rs_shards.items()
+                },
+            )
+            self.ara.directory.cluster = self.cluster
+            for ds in self.ds_shards.values():
+                ds.cluster = self.cluster
+            self.sim.process(self._heartbeat_loop())
+        return self.cluster
+
+    def add_ds_shard(self, name: str | None = None) -> DisseminationServer:
+        """Grow the DS tier by one shard, live.
+
+        The joiner bootstraps its token/subscription tables from an
+        existing shard (:func:`~repro.cluster.rebalance.copy_registrations`),
+        every connected client learns the new broker, and the routing
+        ring picks it up — so it starts owning its share of *new*
+        publications immediately.
+        """
+        cluster = self._ensure_cluster()
+        name = name or f"ds{len(self.ds_shards)}"
+        if name in self.ds_shards:
+            raise ValueError(f"DS shard {name!r} already exists")
+        host = self.network.add_host(name)
+        for rs_name in self.rs_shards:
+            host.set_link_bandwidth(rs_name, self.config.lan_bandwidth_bps)
+        ds = DisseminationServer(
+            host,
+            self.ds.rs_name,
+            self.config.metadata_topic,
+            group=self.group,
+            timings=self.config.timings,
+            match_workers=self.config.match_workers,
+            store=self._open_store(name),
+            cluster=cluster,
+        )
+        ds.start()
+        self.ds_shards[name] = ds
+        copy_registrations(self.ds, ds)
+        cluster.add_ds(name)
+        self.membership.join(name, "ds", now=self.sim.now)
+        for subscriber in self.subscribers.values():
+            subscriber.connection.add_broker(name)
+        for publisher in self.publishers.values():
+            publisher.connection.add_broker(name)
+        return ds
+
+    def add_rs_shard(
+        self, name: str | None = None
+    ) -> tuple[RepositoryServer, HandoffReport]:
+        """Grow the RS tier by one shard and rebalance.
+
+        Existing items are handed off through
+        :func:`~repro.cluster.rebalance.handoff_items` so only the key
+        range the new ring assigns to the joiner (≈ 1/n of the keyspace)
+        actually moves.
+        """
+        cluster = self._ensure_cluster()
+        name = name or f"rs{len(self.rs_shards)}"
+        if name in self.rs_shards:
+            raise ValueError(f"RS shard {name!r} already exists")
+        rs = RepositoryServer(
+            self.network.add_host(name),
+            self.group,
+            self.config.timings,
+            t_g=self.config.t_g,
+            gc_interval_s=self.config.rs_gc_interval_s,
+            engine=self._open_store(name),
+        )
+        for ds in self.ds_shards.values():
+            ds.host.set_link_bandwidth(name, self.config.lan_bandwidth_bps)
+        rs.start()
+        self.rs_shards[name] = rs
+        cluster.add_rs(name, rs.pke.public)
+        self.membership.join(name, "rs", now=self.sim.now)
+        report = handoff_items(
+            {shard: server.store for shard, server in self.rs_shards.items()},
+            cluster.rs_ring,
+            cluster.rs_replication,
+        )
+        return rs, report
+
     # -- participants -----------------------------------------------------------
 
     def add_publisher(self, name: str) -> Publisher:
         credentials = self.ara.register_publisher(name)
-        connection = JmsConnection(self.network.add_host(name), "ds")
+        connection = JmsConnection(
+            self.network.add_host(name), list(self.ds_shards)
+        )
         connection.start()
         publisher = Publisher(
             credentials,
@@ -143,6 +314,7 @@ class P3SSystem:
             self.group,
             self.config.timings,
             guid_bytes=self.config.guid_bytes,
+            reliable_publish=self.config.reliable_publish,
         )
         self.publishers[name] = publisher
         return publisher
@@ -169,7 +341,9 @@ class P3SSystem:
         if delegate_tokens is None:
             delegate_tokens = self.config.delegated_matching
         credentials = self.ara.register_subscriber(name, attributes)
-        connection = JmsConnection(self.network.add_host(name), "ds")
+        connection = JmsConnection(
+            self.network.add_host(name), list(self.ds_shards)
+        )
         connection.start()
         token_source = None
         if embedded_token_source:
@@ -218,7 +392,34 @@ class P3SSystem:
     def now(self) -> float:
         return self.sim.now
 
+    def close(self) -> None:
+        """Release every shard's pool workers and store handles."""
+        for ds in self.ds_shards.values():
+            ds.close_match_pool()
+            ds.store.close()
+        for rs in self.rs_shards.values():
+            rs.store.close()
+
     # -- experiment accessors ----------------------------------------------------------
+
+    def cluster_status(self) -> dict:
+        """JSON-friendly topology + membership report (`repro cluster status`)."""
+        status: dict = {
+            "sharded": self.cluster is not None,
+            "ds_shards": list(self.ds_shards),
+            "rs_shards": list(self.rs_shards),
+            "membership": self.membership.snapshot(self.sim.now),
+            "rs_items": {
+                name: rs.store.item_count for name, rs in self.rs_shards.items()
+            },
+            "ds_publications": {
+                name: sum(ds.publications_by_publisher.values())
+                for name, ds in self.ds_shards.items()
+            },
+        }
+        if self.cluster is not None:
+            status["cluster"] = self.cluster.describe()
+        return status
 
     def deliveries_for(self, record: PublicationRecord) -> list[Delivery]:
         """All deliveries of one publication, across every subscriber."""

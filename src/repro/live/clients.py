@@ -29,6 +29,7 @@ from ..errors import (
     TokenRequestError,
     TransportError,
 )
+from ..cluster.router import ds_shard_for, ds_shards_of, rs_replicas_for
 from ..core.ara import PublisherCredentials, SubscriberCredentials
 from ..core.guid import random_guid
 from ..core.messages import (
@@ -106,12 +107,11 @@ class LivePublisher:
         return self.credentials.directory
 
     async def connect(self) -> None:
-        """Open the live channel to the DS (JMS CONNECT)."""
-        await self.endpoint.cast(
-            self.directory.ds_name, frames.CONNECT, JmsFrame(topic="")
-        )
+        """Open the live channel to every DS shard (JMS CONNECT)."""
+        for ds_name in ds_shards_of(self.directory):
+            await self.endpoint.cast(ds_name, frames.CONNECT, JmsFrame(topic=""))
 
-    async def _send_to_ds(self, body, body_size: int, headers: dict) -> None:
+    async def _send_to_ds(self, body, body_size: int, headers: dict, broker: str) -> None:
         frame = JmsFrame(
             topic=self.publish_topic,
             body=body,
@@ -119,7 +119,7 @@ class LivePublisher:
             message_id=next(self._frame_ids),
             headers=headers,
         )
-        await self.endpoint.cast(self.directory.ds_name, frames.PUBLISH, frame)
+        await self.endpoint.cast(broker, frames.PUBLISH, frame)
 
     async def publish(
         self,
@@ -138,6 +138,9 @@ class LivePublisher:
             submitted_at=self.clock(),
         )
         self.published.append(record)
+        # both frames of one publication target the DS shard owning its
+        # GUID (single-node directories resolve to the one "ds")
+        broker = ds_shard_for(self.directory, record.guid)
         root = obs.start_span(
             "publish", component=self.name, publication_id=record.publication_id
         )
@@ -161,6 +164,7 @@ class LivePublisher:
             envelope,
             envelope.wire_size,
             obs.inject({"p3s-kind": KIND_METADATA}, root),
+            broker,
         )
 
         step = obs.start_span("abe.encrypt", component=self.name, parent=root)
@@ -182,6 +186,7 @@ class LivePublisher:
             submission,
             submission.wire_size,
             obs.inject({"p3s-kind": KIND_PAYLOAD}, root),
+            broker,
         )
         obs.end_span(root)
         return record
@@ -242,15 +247,14 @@ class LiveSubscriber:
         return self.credentials.directory
 
     async def connect(self) -> None:
-        """JMS CONNECT + SUBSCRIBE to the metadata topic."""
-        await self.endpoint.cast(
-            self.directory.ds_name, frames.CONNECT, JmsFrame(topic="")
-        )
-        await self.endpoint.cast(
-            self.directory.ds_name,
-            frames.SUBSCRIBE,
-            JmsFrame(topic=self.metadata_topic),
-        )
+        """JMS CONNECT + SUBSCRIBE to the metadata topic, on every DS
+        shard — publications hash to one shard, so a subscriber must
+        listen everywhere to see them all."""
+        for ds_name in ds_shards_of(self.directory):
+            await self.endpoint.cast(ds_name, frames.CONNECT, JmsFrame(topic=""))
+            await self.endpoint.cast(
+                ds_name, frames.SUBSCRIBE, JmsFrame(topic=self.metadata_topic)
+            )
 
     # -- subscription (Fig. 3) -------------------------------------------------
 
@@ -281,14 +285,17 @@ class LiveSubscriber:
         if not self.delegate_tokens:
             return
         data = serialize_hve_token(self.group, token)
-        frame = JmsFrame(
-            topic=self.metadata_topic,
-            body=data,
-            body_size=len(data),
-            message_id=next(self._frame_ids),
-            headers={"p3s-kind": kind},
-        )
-        await self.endpoint.cast(self.directory.ds_name, frames.PUBLISH, frame)
+        # every shard pre-filters the publications it owns, so the token
+        # must be registered with all of them
+        for ds_name in ds_shards_of(self.directory):
+            frame = JmsFrame(
+                topic=self.metadata_topic,
+                body=data,
+                body_size=len(data),
+                message_id=next(self._frame_ids),
+                headers={"p3s-kind": kind},
+            )
+            await self.endpoint.cast(ds_name, frames.PUBLISH, frame)
 
     async def unsubscribe(self, interest: Interest) -> bool:
         """Drop the local token (and its DS registration, if delegated)."""
@@ -338,17 +345,22 @@ class LiveSubscriber:
         )
         ciphertext_bytes = None
         attempt = 0
+        # the GUID's replica set, in ring order; successive attempts
+        # rotate through it, so a dead/partitioned replica costs one
+        # failed attempt before the next one is asked
+        replicas = rs_replicas_for(self.directory, guid)
         for attempt in range(self.retrieval_retries + 1):
             if attempt:
                 # same race as the simulator: the payload may still be in
                 # flight DS→RS when a fast matcher asks for it
                 await asyncio.sleep(self.retry_delay_s)
+            rs_name, rs_public_key = replicas[attempt % len(replicas)]
             session_key = SecretBox.generate_key()
             body = encode_retrieval_request(session_key, guid)
-            request = self.directory.rs_public_key.encrypt(body)
+            request = rs_public_key.encrypt(body)
             try:
                 sealed = await self._anonymized_call(
-                    self.directory.rs_name, RPC_RETRIEVE, request, span=span
+                    rs_name, RPC_RETRIEVE, request, span=span
                 )
             except TransportError:
                 continue

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time
 
+from ..cluster.router import ClusterMap, shard_names
 from ..core.ara import RegistrationAuthority
 from ..core.config import P3SConfig
 from ..core.pbe_ts import TokenIssuer
@@ -64,6 +65,20 @@ class LiveDeployment:
             epoch = time.monotonic()
             self.obs.bind_clock(lambda: time.monotonic() - epoch)
             self.obs.install()
+        # shard topology (repro.cluster): 1/1 keeps the classic names
+        # and no cluster machinery at all
+        self.ds_names = shard_names(DS_NAME, self.config.ds_shards)
+        self.rs_names = shard_names(RS_NAME, self.config.rs_shards)
+        replication = max(1, min(self.config.rs_replication, len(self.rs_names)))
+        self.cluster: ClusterMap | None = None
+        if len(self.ds_names) > 1 or len(self.rs_names) > 1 or replication > 1:
+            self.cluster = ClusterMap(
+                ds_names=list(self.ds_names),
+                rs_names=list(self.rs_names),
+                rs_replication=replication,
+            )
+        self.ds_shards: dict[str, LiveDisseminationServer] = {}
+        self.rs_shards: dict[str, LiveRepositoryServer] = {}
         self.ds: LiveDisseminationServer | None = None
         self.rs: LiveRepositoryServer | None = None
         self.pbe_ts: LivePBETokenServer | None = None
@@ -71,6 +86,11 @@ class LiveDeployment:
         self.publishers: dict[str, LivePublisher] = {}
         self.subscribers: dict[str, LiveSubscriber] = {}
         self._started = False
+
+    @property
+    def service_names(self) -> tuple[str, ...]:
+        """Every third party in this deployment (telemetry poll set)."""
+        return (*self.ds_names, *self.rs_names, PBE_TS_NAME, ANON_NAME)
 
     # -- service bring-up -------------------------------------------------------
 
@@ -93,19 +113,24 @@ class LiveDeployment:
         directory (addresses + ARA-signed service keys) — the live
         rendition of §4.3's registration hand-out."""
         config = self.config
-        self.rs = LiveRepositoryServer(
-            self._service_endpoint(RS_NAME),
-            self.group,
-            t_g=config.t_g,
-            gc_interval_s=config.rs_gc_interval_s,
-        )
-        self.ds = LiveDisseminationServer(
-            self._service_endpoint(DS_NAME),
-            RS_NAME,
-            metadata_topic=config.metadata_topic,
-            group=self.group,
-            match_workers=config.match_workers,
-        )
+        for rs_name in self.rs_names:
+            self.rs_shards[rs_name] = LiveRepositoryServer(
+                self._service_endpoint(rs_name),
+                self.group,
+                t_g=config.t_g,
+                gc_interval_s=config.rs_gc_interval_s,
+            )
+        self.rs = self.rs_shards[self.rs_names[0]]
+        for ds_name in self.ds_names:
+            self.ds_shards[ds_name] = LiveDisseminationServer(
+                self._service_endpoint(ds_name),
+                self.rs_names[0],
+                metadata_topic=config.metadata_topic,
+                group=self.group,
+                match_workers=config.match_workers,
+                cluster=self.cluster,
+            )
+        self.ds = self.ds_shards[self.ds_names[0]]
         hve = HVE(self.group)
         master_key, verify_key = self.ara.provision_pbe_ts()
         self.pbe_ts = LivePBETokenServer(
@@ -121,16 +146,27 @@ class LiveDeployment:
         )
         self.anonymizer = LiveAnonymizationService(self._service_endpoint(ANON_NAME))
 
-        for service in (self.rs, self.ds, self.pbe_ts, self.anonymizer):
+        for service in (
+            *self.rs_shards.values(),
+            *self.ds_shards.values(),
+            self.pbe_ts,
+            self.anonymizer,
+        ):
             bound_host, bound_port = await service.start(host)
             self.addresses.register(
                 service.name, bound_host, bound_port, service.endpoint.identity.service_key
             )
 
-        self.ara.install_service("ds", DS_NAME)
-        self.ara.install_service("rs", RS_NAME, self.rs.pke.public)
+        self.ara.install_service("ds", self.ds_names[0])
+        self.ara.install_service("rs", self.rs_names[0], self.rs.pke.public)
         self.ara.install_service("pbe_ts", PBE_TS_NAME, self.pbe_ts.pke.public)
         self.ara.install_service("anonymizer", ANON_NAME)
+        if self.cluster is not None:
+            for rs_name, rs in self.rs_shards.items():
+                self.cluster.rs_public_keys[rs_name] = rs.pke.public
+            # by reference: every credential embeds this directory, so
+            # all clients route through the same live ClusterMap
+            self.ara.directory.cluster = self.cluster
         self._started = True
 
     # -- participants -----------------------------------------------------------
@@ -180,7 +216,7 @@ class LiveDeployment:
     def telemetry_client(self, name: str = "telemetry") -> TelemetryClient:
         """A poller over every third party's admin RPCs (health, metrics,
         spans) — the engine under ``repro live status`` and ``live top``."""
-        return TelemetryClient(self._client_endpoint(name), SERVICE_NAMES)
+        return TelemetryClient(self._client_endpoint(name), self.service_names)
 
     async def scrape(self, aggregator=None):
         """One-shot telemetry sweep of all four services.
@@ -203,9 +239,16 @@ class LiveDeployment:
             await publisher.close()
         for subscriber in self.subscribers.values():
             await subscriber.close()
-        for service in (self.anonymizer, self.pbe_ts, self.ds, self.rs):
+        for service in (
+            self.anonymizer,
+            self.pbe_ts,
+            *self.ds_shards.values(),
+            *self.rs_shards.values(),
+        ):
             if service is not None:
                 await service.close()
         self.publishers.clear()
         self.subscribers.clear()
+        self.ds_shards.clear()
+        self.rs_shards.clear()
         self._started = False

@@ -21,6 +21,7 @@ import os
 import pickle
 from dataclasses import dataclass, field
 
+from ..cluster.router import ClusterMap, shard_names
 from ..core.ara import RegistrationAuthority
 from ..core.config import P3SConfig
 from ..core.pbe_ts import TokenIssuer
@@ -47,10 +48,16 @@ __all__ = [
     "load_state",
     "build_service",
     "serve_role",
+    "service_roles",
     "run_clients",
 ]
 
 SERVICE_ROLES = (DS_NAME, RS_NAME, PBE_TS_NAME, ANON_NAME)
+
+
+def service_roles(state: "DeploymentState") -> tuple[str, ...]:
+    """Every role this bundle provisions (shard-aware port-plan order)."""
+    return tuple(state.ports)
 
 
 @dataclass
@@ -70,10 +77,17 @@ class DeploymentState:
     # registration time (the bundle is already the secrets file)
     data_dir: str | None = None
     store_keys: dict[str, bytes] = field(default_factory=dict)
+    # per-RS-shard PKE keypairs (sharded bundles); ``rs_pke`` stays the
+    # first shard's pair so pre-cluster bundles keep loading
+    rs_pkes: dict[str, PKEKeyPair] = field(default_factory=dict)
 
     @property
     def group(self) -> PairingGroup:
         return self.ara.group
+
+    @property
+    def cluster(self) -> ClusterMap | None:
+        return getattr(self.ara.directory, "cluster", None)
 
     def open_store(self, role: str) -> StorageEngine | None:
         """Open ``role``'s storage engine per the deployment config.
@@ -137,24 +151,36 @@ def init_state(
         raise RegistrationError(
             f"store_backend={config.store_backend!r} needs --data-dir"
         )
+    ds_names = shard_names(DS_NAME, config.ds_shards)
+    rs_names = shard_names(RS_NAME, config.rs_shards)
+    replication = max(1, min(config.rs_replication, len(rs_names)))
+    roles = (*ds_names, *rs_names, PBE_TS_NAME, ANON_NAME)
     group = PairingGroup(config.param_set)
     ara = RegistrationAuthority(group, config.schema)
-    identities = {
-        name: ServerIdentity.issue(ara, group, name) for name in SERVICE_ROLES
-    }
-    rs_pke = PKEKeyPair(group)
+    identities = {name: ServerIdentity.issue(ara, group, name) for name in roles}
+    rs_pkes = {name: PKEKeyPair(group) for name in rs_names}
+    rs_pke = rs_pkes[rs_names[0]]
     pbe_ts_pke = PKEKeyPair(group)
-    ara.install_service("ds", DS_NAME)
-    ara.install_service("rs", RS_NAME, rs_pke.public)
+    ara.install_service("ds", ds_names[0])
+    ara.install_service("rs", rs_names[0], rs_pke.public)
     ara.install_service("pbe_ts", PBE_TS_NAME, pbe_ts_pke.public)
     ara.install_service("anonymizer", ANON_NAME)
+    if len(ds_names) > 1 or len(rs_names) > 1 or replication > 1:
+        # the cluster map rides inside the pickled directory, so every
+        # serve-* process and every client loads the same topology
+        ara.directory.cluster = ClusterMap(
+            ds_names=list(ds_names),
+            rs_names=list(rs_names),
+            rs_replication=replication,
+            rs_public_keys={name: pke.public for name, pke in rs_pkes.items()},
+        )
     store_keys: dict[str, bytes] = {}
     if data_dir is not None:
         os.makedirs(data_dir, exist_ok=True)
-        store_keys = {role: os.urandom(32) for role in (RS_NAME, DS_NAME)}
+        store_keys = {role: os.urandom(32) for role in (*rs_names, *ds_names)}
     state = DeploymentState(
         host=host,
-        ports={name: base_port + index for index, name in enumerate(SERVICE_ROLES)},
+        ports={name: base_port + index for index, name in enumerate(roles)},
         config=config,
         ara=ara,
         identities=identities,
@@ -162,6 +188,7 @@ def init_state(
         pbe_ts_pke=pbe_ts_pke,
         data_dir=data_dir,
         store_keys=store_keys,
+        rs_pkes=rs_pkes,
     )
     with open(path, "wb") as handle:
         pickle.dump(state, handle)
@@ -177,24 +204,32 @@ def load_state(path: str) -> DeploymentState:
 
 
 def build_service(role: str, state: DeploymentState):
-    """Instantiate one third party from the shared state bundle."""
-    if role == DS_NAME:
+    """Instantiate one third party from the shared state bundle.
+
+    ``role`` is a concrete service name from the bundle's port plan —
+    ``ds``/``rs`` on single-node bundles, ``ds0``/``rs1``/… on sharded
+    ones.
+    """
+    if role in state.ports and role.startswith(DS_NAME):
+        rs_names = shard_names(RS_NAME, getattr(state.config, "rs_shards", 1))
         return LiveDisseminationServer(
-            state.endpoint(DS_NAME, state.identities[DS_NAME]),
-            RS_NAME,
+            state.endpoint(role, state.identities[role]),
+            rs_names[0],
             metadata_topic=state.config.metadata_topic,
             group=state.group,
             match_workers=state.config.match_workers,
-            store=state.open_store(DS_NAME),
+            store=state.open_store(role),
+            cluster=state.cluster,
         )
-    if role == RS_NAME:
+    if role in state.ports and role.startswith(RS_NAME):
+        pke = getattr(state, "rs_pkes", {}).get(role, state.rs_pke)
         return LiveRepositoryServer(
-            state.endpoint(RS_NAME, state.identities[RS_NAME]),
+            state.endpoint(role, state.identities[role]),
             state.group,
             t_g=state.config.t_g,
             gc_interval_s=state.config.rs_gc_interval_s,
-            pke=state.rs_pke,
-            engine=state.open_store(RS_NAME),
+            pke=pke,
+            engine=state.open_store(role),
         )
     if role == PBE_TS_NAME:
         master_key, verify_key = state.ara.provision_pbe_ts()
@@ -215,7 +250,9 @@ def build_service(role: str, state: DeploymentState):
         return LiveAnonymizationService(
             state.endpoint(ANON_NAME, state.identities[ANON_NAME])
         )
-    raise RegistrationError(f"unknown service role {role!r}; expected one of {SERVICE_ROLES}")
+    raise RegistrationError(
+        f"unknown service role {role!r}; expected one of {service_roles(state)}"
+    )
 
 
 async def serve_role(role: str, state: DeploymentState) -> None:

@@ -140,9 +140,13 @@ class LiveDisseminationServer(_LiveService):
         group=None,
         match_workers: int | None = None,
         store: StorageEngine | None = None,
+        cluster=None,
     ):
         super().__init__(endpoint)
         self.rs_name = rs_name
+        # repro.cluster.ClusterMap (or None): payloads go to the GUID's
+        # rs_replication ring successors instead of the single rs_name
+        self.cluster = cluster
         self.metadata_topic = metadata_topic
         self.group = group
         self.match_workers = match_workers
@@ -264,14 +268,24 @@ class LiveDisseminationServer(_LiveService):
             # losing frames to a disconnected client
             obs.record_op("ds.delivery_dropped")
 
+    def _rs_targets(self, guid: bytes) -> list[str]:
+        if self.cluster is not None and len(self.cluster.rs_names) > 1:
+            return list(self.cluster.rs_replicas(guid))
+        return [self.rs_name]
+
     async def _forward_to_rs(self, frame: JmsFrame) -> None:
         submission: PayloadSubmission = frame.body
+        targets = self._rs_targets(submission.guid)
         with obs.span(
-            "ds.forward_rs", component=self.name, parent=obs.extract(frame.headers)
+            "ds.forward_rs",
+            component=self.name,
+            parent=obs.extract(frame.headers),
+            replicas=len(targets),
         ) as span:
-            await self.endpoint.cast(
-                self.rs_name, RPC_STORE, submission, headers=obs.inject({}, span)
-            )
+            for target in targets:
+                await self.endpoint.cast(
+                    target, RPC_STORE, submission, headers=obs.inject({}, span)
+                )
 
     # -- delegated matching (same rules as repro.core.ds) ----------------------
 
@@ -343,6 +357,10 @@ class LiveDisseminationServer(_LiveService):
             not self.registered_tokens or self._match_pool is not None
         )
         checks["store_recovered"] = self.store.healthy
+        if self.cluster is not None:
+            # a DS shard that fell out of the routing ring (membership
+            # declared it dead) must read as not-ready until it rejoins
+            checks["cluster_member"] = self.name in self.cluster.ds_names
         return checks
 
     def extra_metrics(self) -> list[dict]:
@@ -364,6 +382,19 @@ class LiveDisseminationServer(_LiveService):
                 },
             ]
         )
+        if self.cluster is not None:
+            samples.extend(
+                [
+                    {"name": "cluster.ds_shards", "labels": {},
+                     "value": len(self.cluster.ds_names)},
+                    {"name": "cluster.rs_shards", "labels": {},
+                     "value": len(self.cluster.rs_names)},
+                    {"name": "cluster.rs_replication", "labels": {},
+                     "value": self.cluster.rs_replication},
+                    {"name": "cluster.is_member", "labels": {"shard": self.name},
+                     "value": int(self.name in self.cluster.ds_names)},
+                ]
+            )
         samples.extend(_store_samples(self.store, self.recovered_registrations))
         return samples
 

@@ -13,7 +13,7 @@ this class the same way.  Scope is the slice of JMS that P3S exercises:
 from __future__ import annotations
 
 import itertools
-from collections import defaultdict
+from collections import defaultdict, deque
 
 from ..errors import BrokerError
 from ..net.channel import SecureChannelLayer
@@ -42,6 +42,13 @@ class Broker:
         self.delivered_count = 0
         self.acked_count = 0
         self.published_count = 0
+        self.duplicate_publishes = 0
+        # bounded (src, seq) dedup window for acknowledged publishes: a
+        # retransmitted PUBLISH whose PUBACK was lost must be re-acked
+        # but not re-processed (at-least-once on the wire, exactly-once
+        # at the broker)
+        self._seen_pub_order: deque[tuple[str, int]] = deque(maxlen=1024)
+        self._seen_pubs: set[tuple[str, int]] = set()
         self._started = False
         self.crashed = False
 
@@ -70,6 +77,8 @@ class Broker:
             elif message.msg_type == frames.UNSUBSCRIBE:
                 self._unsubscribe(src, frame.topic)
             elif message.msg_type == frames.PUBLISH:
+                if not self._accept_publish(src, frame):
+                    continue
                 self.published_count += 1
                 self.on_publish(src, frame)
             elif message.msg_type == frames.ACK:
@@ -84,6 +93,35 @@ class Broker:
     def on_publish(self, src: str, frame: JmsFrame) -> None:
         """Default JMS behaviour: fan the frame out to all topic subscribers."""
         self.fan_out(frame.topic, frame)
+
+    # -- reliable publish (PUBACK + dedup) ----------------------------------------
+
+    def _accept_publish(self, src: str, frame: JmsFrame) -> bool:
+        """Ack a sequenced PUBLISH and decide whether to process it.
+
+        Reads the sequence with ``get`` — never ``pop`` — because the
+        simulator passes the *same frame object* on every client
+        retransmission; mutating it here would strip the header from
+        the client's future retries.
+        """
+        seq = frame.headers.get(frames.HDR_PUB_SEQ)
+        if seq is None:
+            return True  # legacy fire-and-forget publish
+        self.channel.send(src, frames.PUBACK, JmsFrame(message_id=seq), 32)
+        key = (src, seq)
+        if key in self._seen_pubs:
+            self.duplicate_publishes += 1
+            return False
+        if len(self._seen_pub_order) == self._seen_pub_order.maxlen:
+            self._seen_pubs.discard(self._seen_pub_order[0])
+        self._seen_pub_order.append(key)
+        self._seen_pubs.add(key)
+        return True
+
+    @staticmethod
+    def delivery_headers(frame: JmsFrame) -> dict:
+        """Header copy for delivery frames, transport bookkeeping stripped."""
+        return {k: v for k, v in frame.headers.items() if k != frames.HDR_PUB_SEQ}
 
     # -- primitives ------------------------------------------------------------------
 
@@ -104,7 +142,7 @@ class Broker:
             body=frame.body,
             body_size=frame.body_size,
             message_id=next(self._message_ids),
-            headers=dict(frame.headers),
+            headers=self.delivery_headers(frame),
         )
         for client in self.subscriptions[topic]:
             self.deliver_to(client, delivery)
@@ -123,6 +161,11 @@ class Broker:
         self.crashed = True
         self.subscriptions.clear()
         self.connected_clients.clear()
+        # the dedup window is volatile too: a retransmission accepted
+        # twice across a crash is at-least-once, which the subscriber's
+        # GUID dedup absorbs
+        self._seen_pub_order.clear()
+        self._seen_pubs.clear()
 
     def restart(self) -> None:
         """Come back up; "a restarted DS needs to wait for subscribers and

@@ -12,31 +12,81 @@ owning the host's inbox: P3S clients multiplex JMS deliveries (encrypted
 metadata) and request-response traffic (token requests, retrievals) over
 the same host, exactly as the prototype multiplexes JMS and web-service
 calls.
+
+Two extensions beyond the classic JMS slice:
+
+* **multi-broker connections** — one connection may span several brokers
+  (the sharded DS cluster of :mod:`repro.cluster`).  Deliveries from any
+  of them arrive through the single DELIVER handler (an endpoint can
+  register each msg_type only once), SUBSCRIBE fans to every broker, and
+  ACKs return to whichever broker delivered the frame.
+* **reliable publish** — ``producer.send(..., reliable=True)`` attaches
+  a per-connection sequence header, waits for the broker's PUBACK, and
+  retransmits with bounded exponential backoff on silence.  Jitter is
+  derived from stable identifiers (SHA-256 of client/broker/seq), never
+  ambient entropy, so chaos runs stay seed-replayable.  The broker
+  dedups on (client, seq), making the upgrade at-least-once on the wire
+  and exactly-once at the broker — this closes the documented
+  unretried-publish gap in docs/CHAOS.md.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import hashlib
+import itertools
+import random
+from typing import Any, Callable, Iterable
 
-from ..errors import BrokerError
+from ..errors import BrokerError, TransportError
 from ..net.channel import SecureChannelLayer
 from ..net.network import Host
 from ..net.rpc import RpcEndpoint
+from ..obs import profile as obs
 from . import messages as frames
 from .messages import JmsFrame
 
 __all__ = ["JmsConnection", "JmsSession", "MessageProducer", "MessageConsumer"]
 
 
-class JmsConnection:
-    """A client's connection to one broker."""
+def _jitter_rng(*parts: Any) -> random.Random:
+    """Deterministic per-(client, broker, seq, attempt) jitter source."""
+    digest = hashlib.sha256(":".join(str(p) for p in parts).encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
 
-    def __init__(self, host: Host, broker_name: str, endpoint: RpcEndpoint | None = None):
+
+class JmsConnection:
+    """A client's connection to one broker — or to a shard set of them.
+
+    ``broker_name`` may be a single name or a sequence; the first entry
+    stays available as :attr:`broker_name` (the classic single-broker
+    attribute, used as the default publish target).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        broker_name: str | Iterable[str],
+        endpoint: RpcEndpoint | None = None,
+        publish_retries: int = 4,
+        puback_timeout_s: float = 1.0,
+        publish_backoff_s: float = 0.2,
+    ):
+        names = (broker_name,) if isinstance(broker_name, str) else tuple(broker_name)
+        if not names:
+            raise BrokerError("connection needs at least one broker")
         self.host = host
-        self.broker_name = broker_name
+        self.broker_names: list[str] = list(dict.fromkeys(names))
+        self.broker_name = self.broker_names[0]
         self.endpoint = endpoint or RpcEndpoint(SecureChannelLayer(host))
         self.sim = host.network.sim
+        self.publish_retries = publish_retries
+        self.puback_timeout_s = puback_timeout_s
+        self.publish_backoff_s = publish_backoff_s
         self._listeners: dict[str, list[Callable[[JmsFrame], None]]] = {}
+        self._pub_seq = itertools.count(1)
+        self._pending_acks: dict[tuple[str, int], Any] = {}
+        self.publish_retransmits = 0
+        self.publish_failures = 0
         self._started = False
 
     @property
@@ -44,13 +94,29 @@ class JmsConnection:
         return self.host.name
 
     def start(self) -> None:
-        """CONNECT to the broker and begin dispatching deliveries."""
+        """CONNECT to every broker and begin dispatching deliveries."""
         if self._started:
             return
         self._started = True
         self.endpoint.serve(frames.DELIVER, self._on_deliver)
+        self.endpoint.serve(frames.PUBACK, self._on_puback)
         self.endpoint.start()
-        self.endpoint.cast(self.broker_name, frames.CONNECT, JmsFrame(), 64)
+        for broker in self.broker_names:
+            self.endpoint.cast(broker, frames.CONNECT, JmsFrame(), 64)
+
+    def add_broker(self, broker: str) -> None:
+        """Join a broker that appeared after the connection started
+        (a DS shard added by rebalancing): CONNECT, then re-SUBSCRIBE
+        every topic this client listens to."""
+        if broker in self.broker_names:
+            return
+        self.broker_names.append(broker)
+        if self._started:
+            self.endpoint.cast(broker, frames.CONNECT, JmsFrame(), 64)
+            for topic in self._listeners:
+                self.endpoint.cast(
+                    broker, frames.SUBSCRIBE, JmsFrame(topic=topic), 64
+                )
 
     def create_session(self) -> "JmsSession":
         if not self._started:
@@ -58,35 +124,102 @@ class JmsConnection:
         return JmsSession(self)
 
     def reconnect(self) -> None:
-        """Re-register with the broker after it restarted (§6.1).
+        """Re-register with the brokers after a restart (§6.1).
 
         Re-sends CONNECT plus a SUBSCRIBE for every topic this client
-        listens to; the broker rebuilt its registry from scratch.
+        listens to; a restarted broker rebuilt its registry from scratch.
         """
         if not self._started:
             raise BrokerError("connection not started")
-        self.endpoint.cast(self.broker_name, frames.CONNECT, JmsFrame(), 64)
-        for topic in self._listeners:
-            self.endpoint.cast(self.broker_name, frames.SUBSCRIBE, JmsFrame(topic=topic), 64)
+        for broker in self.broker_names:
+            self.endpoint.cast(broker, frames.CONNECT, JmsFrame(), 64)
+            for topic in self._listeners:
+                self.endpoint.cast(
+                    broker, frames.SUBSCRIBE, JmsFrame(topic=topic), 64
+                )
 
     # -- internals -------------------------------------------------------------
 
     def _on_deliver(self, src: str, message) -> None:
         frame: JmsFrame = message.payload
+        # remember which broker delivered this copy so the consumer's
+        # ACK returns to it, not to the default broker
+        frame.delivered_by = src
         for listener in self._listeners.get(frame.topic, []):
             listener(frame)
 
+    def _on_puback(self, src: str, message) -> None:
+        ack = self._pending_acks.pop((src, message.payload.message_id), None)
+        if ack is not None and not ack.triggered:
+            ack.succeed(None)
+
     def _register_listener(self, topic: str, listener: Callable[[JmsFrame], None]) -> None:
         self._listeners.setdefault(topic, []).append(listener)
-        self.endpoint.cast(self.broker_name, frames.SUBSCRIBE, JmsFrame(topic=topic), 64)
+        for broker in self.broker_names:
+            self.endpoint.cast(broker, frames.SUBSCRIBE, JmsFrame(topic=topic), 64)
 
-    def _send_publish(self, frame: JmsFrame) -> None:
-        self.endpoint.cast(self.broker_name, frames.PUBLISH, frame, frame.wire_size)
+    def _send_publish(self, frame: JmsFrame, broker: str | None = None) -> None:
+        self.endpoint.cast(
+            broker or self.broker_name, frames.PUBLISH, frame, frame.wire_size
+        )
 
     def _send_ack(self, frame: JmsFrame) -> None:
         self.endpoint.cast(
-            self.broker_name, frames.ACK, JmsFrame(message_id=frame.message_id), 32
+            getattr(frame, "delivered_by", self.broker_name),
+            frames.ACK,
+            JmsFrame(message_id=frame.message_id),
+            32,
         )
+
+    # -- reliable publish ------------------------------------------------------
+
+    def publish_reliable(self, frame: JmsFrame, broker: str | None = None):
+        """Generator process: publish ``frame`` and retransmit until the
+        broker PUBACKs or the retry budget is spent.
+
+        Yieldable from client protocol processes (``yield
+        sim.process(conn.publish_reliable(...))`` returns True/False) or
+        spawnable detached.  The sequence header survives retransmission
+        because the broker never mutates the frame it receives.
+        """
+        target = broker or self.broker_name
+        seq = next(self._pub_seq)
+        frame.headers[frames.HDR_PUB_SEQ] = seq
+        for attempt in range(self.publish_retries + 1):
+            ack = self.sim.event()
+            key = (target, seq)
+            self._pending_acks[key] = ack
+
+            def _expire(key=key, ack=ack):
+                if self._pending_acks.get(key) is ack and not ack.triggered:
+                    del self._pending_acks[key]
+                    ack.fail(
+                        TransportError(
+                            f"{self.client_name}: publish seq {key[1]} to "
+                            f"{key[0]} unacknowledged"
+                        )
+                    )
+
+            # non-daemon, same rationale as RpcEndpoint.call: a parked
+            # publisher must hold the run open for its own timeout
+            self.sim.schedule(self.puback_timeout_s, _expire)
+            if attempt:
+                self.publish_retransmits += 1
+                obs.record_op("mq.publish_retransmit")
+            self.endpoint.cast(target, frames.PUBLISH, frame, frame.wire_size)
+            try:
+                yield ack
+                return True
+            except TransportError:
+                if attempt < self.publish_retries:
+                    backoff = self.publish_backoff_s * (2**attempt)
+                    jitter = _jitter_rng(
+                        self.client_name, target, seq, attempt
+                    ).uniform(0.0, backoff)
+                    yield self.sim.timeout(backoff + jitter)
+        self.publish_failures += 1
+        obs.record_op("mq.publish_failed")
+        return False
 
 
 class JmsSession:
@@ -109,11 +242,28 @@ class MessageProducer:
         self.connection = connection
         self.topic = topic
 
-    def send(self, body: Any, body_size: int, headers: dict[str, Any] | None = None) -> None:
+    def send(
+        self,
+        body: Any,
+        body_size: int,
+        headers: dict[str, Any] | None = None,
+        broker: str | None = None,
+        reliable: bool = False,
+    ):
+        """Publish one frame.
+
+        ``broker`` routes to a specific shard (default: the connection's
+        first broker).  ``reliable=True`` returns the acked-publish
+        generator for the caller's process to drive (or to hand to
+        ``sim.process``); the plain path stays a fire-and-forget cast.
+        """
         frame = JmsFrame(
             topic=self.topic, body=body, body_size=body_size, headers=headers or {}
         )
-        self.connection._send_publish(frame)
+        if reliable:
+            return self.connection.publish_reliable(frame, broker=broker)
+        self.connection._send_publish(frame, broker=broker)
+        return None
 
 
 class MessageConsumer:

@@ -17,8 +17,17 @@ UNSUBSCRIBE = "jms.unsubscribe"
 PUBLISH = "jms.publish"
 DELIVER = "jms.deliver"
 ACK = "jms.ack"
+# broker→publisher acknowledgement of one PUBLISH carrying a
+# "jms-pub-seq" header; the reliable-publish retry loop waits on it
+PUBACK = "jms.puback"
 
 FRAME_HEADER_BYTES = 24  # topic id, message id, flags — fixed framing cost
+
+# headers.  The publish sequence header makes a PUBLISH frame
+# at-least-once-safe: the broker acks it and dedups redeliveries on
+# (src, seq); it is stripped from delivery copies so subscribers never
+# see transport bookkeeping.
+HDR_PUB_SEQ = "jms-pub-seq"
 
 __all__ = [
     "CONNECT",
@@ -27,6 +36,8 @@ __all__ = [
     "PUBLISH",
     "DELIVER",
     "ACK",
+    "PUBACK",
+    "HDR_PUB_SEQ",
     "FRAME_HEADER_BYTES",
     "JmsFrame",
 ]

@@ -51,6 +51,19 @@ def trace_visibility(system: P3SSystem) -> VisibilityReport:
     publication, so the observation logs are populated.
     """
     claims: list[VisibilityClaim] = []
+    # aggregate over shards (a sharded deployment must uphold the same
+    # claims at every shard); single-node systems have one of each
+    ds_shards = list(getattr(system, "ds_shards", {"ds": system.ds}).values())
+    rs_shards = list(getattr(system, "rs_shards", {"rs": system.rs}).values())
+    ds_observed_sizes = [obs for ds in ds_shards for obs in ds.observed_sizes]
+    ds_publications_by_publisher: dict[str, int] = {}
+    for ds in ds_shards:
+        for name, count in ds.publications_by_publisher.items():
+            ds_publications_by_publisher[name] = (
+                ds_publications_by_publisher.get(name, 0) + count
+            )
+    rs_observed_sources = [src for rs in rs_shards for src in rs.observed_sources]
+    rs_stored_total = sum(rs.stored_count for rs in rs_shards)
     subscriber_names = set(system.subscribers)
     interests_plain = {
         interest.to_json()
@@ -65,23 +78,23 @@ def trace_visibility(system: P3SSystem) -> VisibilityReport:
 
     # --- DS ---------------------------------------------------------------
     ds_sees_only_sizes = all(
-        isinstance(size, int) for _, size in system.ds.observed_sizes
+        isinstance(size, int) for _, size in ds_observed_sizes
     )
     claims.append(
         VisibilityClaim(
             "ds",
             "The DS does know the size of payloads and the size of "
             "encrypted PBE metadata (and nothing content-bearing)",
-            ds_sees_only_sizes and len(system.ds.observed_sizes) > 0,
-            f"{len(system.ds.observed_sizes)} size observations recorded",
+            ds_sees_only_sizes and len(ds_observed_sizes) > 0,
+            f"{len(ds_observed_sizes)} size observations recorded",
         )
     )
     claims.append(
         VisibilityClaim(
             "ds",
             "The DS knows the per-publisher publication rate",
-            all(name in system.publishers for name in system.ds.publications_by_publisher),
-            f"counters: {dict(system.ds.publications_by_publisher)}",
+            all(name in system.publishers for name in ds_publications_by_publisher),
+            f"counters: {dict(ds_publications_by_publisher)}",
         )
     )
     claims.append(
@@ -95,14 +108,14 @@ def trace_visibility(system: P3SSystem) -> VisibilityReport:
     )
 
     # --- RS ---------------------------------------------------------------
-    rs_sources_anonymous = subscriber_names.isdisjoint(system.rs.observed_sources)
+    rs_sources_anonymous = subscriber_names.isdisjoint(rs_observed_sources)
     claims.append(
         VisibilityClaim(
             "rs",
             "The RS does not know which subscriber has requested a payload "
             "(holds when the anonymization service is in use)",
             (not system.config.use_anonymizer) or rs_sources_anonymous,
-            f"retrieval sources seen: {sorted(set(system.rs.observed_sources))}",
+            f"retrieval sources seen: {sorted(set(rs_observed_sources))}",
         )
     )
     claims.append(
@@ -110,8 +123,8 @@ def trace_visibility(system: P3SSystem) -> VisibilityReport:
             "rs",
             "The RS can keep track of how many requests have been received "
             "for each encrypted payload",
-            system.rs.stored_count >= 0,
-            f"{system.rs.stored_count} items stored",
+            rs_stored_total >= 0,
+            f"{rs_stored_total} items stored",
         )
     )
 

@@ -15,6 +15,7 @@ from hypothesis import given, settings, strategies as st
 from repro.chaos import Fault, FaultSchedule, run_chaos
 from repro.chaos.inject import SimFaultInjector
 from repro.chaos.schedule import PROFILES
+from repro.cluster.router import shard_names
 from repro.net.network import Message, Network
 from repro.net.simulator import Simulator
 
@@ -89,15 +90,19 @@ class TestScheduleProperties:
     @given(seed=seeds, profile=profile_names)
     def test_generated_loss_respects_the_retry_budget(self, seed, profile):
         prof = PROFILES[profile]
-        retried = {("anon", "rs"), ("rs", "anon")}
+        retried = set()
+        for rs in shard_names("rs", prof.rs_shards):
+            retried |= {("anon", rs), (rs, "anon")}
         for name in SUBS:
             retried |= {(name, "anon"), ("anon", name)}
+        for ds in shard_names("ds", prof.ds_shards):
+            retried.add(("pub", ds))
         for fault in FaultSchedule.generate(seed, profile, SUBS).faults:
             if fault.kind == "drop":
                 assert (fault.src, fault.dst) in retried
                 assert 1 <= len(fault.hits) <= prof.max_loss_hits
             elif fault.kind == "partition":
-                assert fault.node == "anon"
+                assert fault.node in prof.partition_targets
                 assert fault.end - fault.start <= prof.max_partition_s + 1e-9
 
     @settings(max_examples=40, deadline=None)

@@ -10,6 +10,7 @@ from repro.chaos.schedule import (
     FaultSchedule,
     minimize_schedule,
 )
+from repro.cluster.router import shard_names
 from repro.net.network import Message, Network
 from repro.net.simulator import Simulator
 
@@ -67,17 +68,25 @@ class TestGeneration:
             assert fault.kind in FAULT_KINDS
             assert fault.end > fault.start >= 0.0
 
-    def test_loss_faults_only_on_retried_links(self):
-        """Drops must never land on the unacknowledged publish/fan-out casts."""
-        retried = {("anon", "rs"), ("rs", "anon")}
+    @pytest.mark.parametrize("profile", ["heavy", "shard"])
+    def test_loss_faults_only_on_retried_links(self, profile):
+        """Drops must never land on the unacknowledged DS-originated casts
+        (ds -> rs store, ds -> sub deliver); the publish path is retried
+        (PUBACK/retransmit) so it is fair game."""
+        prof = PROFILES[profile]
+        retried = set()
+        for rs in shard_names("rs", prof.rs_shards):
+            retried |= {("anon", rs), (rs, "anon")}
         for name in SUBS:
             retried |= {(name, "anon"), ("anon", name)}
+        for ds in shard_names("ds", prof.ds_shards):
+            retried.add(("pub", ds))
         for seed in range(30):
-            for fault in FaultSchedule.generate(seed, "heavy", SUBS).faults:
+            for fault in FaultSchedule.generate(seed, profile, SUBS).faults:
                 if fault.kind == "drop":
                     assert (fault.src, fault.dst) in retried
                 elif fault.kind == "partition":
-                    assert fault.node == "anon"
+                    assert fault.node in prof.partition_targets
 
     def test_without_removes_one_fault(self):
         schedule = FaultSchedule.generate(7, "default", SUBS)

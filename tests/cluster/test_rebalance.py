@@ -1,0 +1,142 @@
+"""Elastic topology (repro.cluster.rebalance): growing a live system by
+one RS shard moves only the joiner's key range; growing by one DS shard
+bootstraps its registration tables and immediately shares broker load —
+all without disturbing applications.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.system import P3SSystem
+from repro.pbe.schema import Interest
+
+from ..live.conftest import small_config
+
+
+def _metadata(**overrides):
+    base = {"topic": "a", "prio": "lo"}
+    base.update(overrides)
+    return base
+
+
+def _published_system(publications: int = 10):
+    """Single-node system with one matched subscriber and N stored items."""
+    system = P3SSystem(small_config())
+    alice = system.add_subscriber("alice", {"org"})
+    system.subscribe(alice, Interest({"topic": "a"}))
+    system.run()
+    publisher = system.add_publisher("pub")
+    records = [
+        publisher.publish(_metadata(), f"p{i}".encode(), policy="org")
+        for i in range(publications)
+    ]
+    system.run()
+    return system, publisher, alice, records
+
+
+class TestAddRsShard:
+    def test_handoff_moves_only_the_joiners_range(self):
+        system, _pub, _alice, records = _published_system()
+        try:
+            before = {r.guid for r in records}
+            assert system.rs.store.item_count == len(before)
+
+            rs1, report = system.add_rs_shard()
+
+            # replication stays 1: every item lives on exactly its new
+            # ring owner, the copy count equals the eviction count, and
+            # only guids the new ring re-homed actually moved (examined
+            # counts item-locations, including freshly copied ones)
+            assert report.examined >= len(before)
+            assert report.copied == report.evicted
+            moved = {
+                guid
+                for guid in before
+                if system.cluster.rs_ring.owner(guid) == "rs1"
+            }
+            assert report.copied == len(moved)
+            for guid in before:
+                owner = system.cluster.rs_ring.owner(guid)
+                assert system.rs_shards[owner].store.contains(guid)
+                other = "rs" if owner == "rs1" else "rs1"
+                assert not system.rs_shards[other].store.contains(guid)
+            assert rs1.store.item_count == len(moved)
+        finally:
+            system.close()
+
+    def test_deliveries_continue_after_the_rebalance(self):
+        system, publisher, alice, records = _published_system(publications=4)
+        try:
+            system.add_rs_shard()
+            more = [
+                publisher.publish(_metadata(), f"post-{i}".encode(), policy="org")
+                for i in range(6)
+            ]
+            system.run()
+            assert len(alice.stats.deliveries) == len(records) + len(more)
+            # post-join items land on whichever shard the new ring says
+            for record in more:
+                owner = system.cluster.rs_ring.owner(record.guid)
+                assert system.rs_shards[owner].store.contains(record.guid)
+        finally:
+            system.close()
+
+    def test_second_join_reuses_generated_names(self):
+        system, _pub, _alice, _records = _published_system(publications=2)
+        try:
+            rs1, _ = system.add_rs_shard()
+            rs2, _ = system.add_rs_shard()
+            assert rs1.name == "rs1" and rs2.name == "rs2"
+            assert sorted(system.cluster.rs_names) == ["rs", "rs1", "rs2"]
+        finally:
+            system.close()
+
+
+class TestAddDsShard:
+    def test_joiner_bootstraps_registrations_and_takes_load(self):
+        config = small_config(delegated_matching=True, match_workers=1)
+        system = P3SSystem(config)
+        try:
+            alice = system.add_subscriber("alice", {"org"})
+            system.subscribe(alice, Interest({"topic": "a"}))
+            system.run()
+
+            ds1 = system.add_ds_shard()
+            # the joiner copied the token + subscription tables, so it can
+            # match without waiting for re-registration
+            assert ds1.registered_tokens == system.ds.registered_tokens
+            assert len(ds1.registered_tokens) == 1
+            assert ds1.registered_subscriber_count == 1
+
+            publisher = system.add_publisher("pub")
+            records = [
+                publisher.publish(_metadata(), f"p{i}".encode(), policy="org")
+                for i in range(10)
+            ]
+            system.run()
+            assert len(alice.stats.deliveries) == len(records)
+
+            # publications split between old and new broker per the ring
+            owner_counts = Counter(
+                system.cluster.ds_owner(r.guid) for r in records
+            )
+            status = system.cluster_status()
+            assert status["ds_publications"] == {
+                name: owner_counts.get(name, 0) for name in system.ds_shards
+            }
+        finally:
+            system.close()
+
+    def test_growing_attaches_a_cluster_to_a_classic_deployment(self):
+        system = P3SSystem(small_config())
+        try:
+            assert system.cluster is None
+            system.add_ds_shard()
+            assert system.cluster is not None
+            # the directory is embedded by reference in every credential,
+            # so existing clients see the topology without re-registering
+            assert system.ara.directory.cluster is system.cluster
+            assert sorted(system.cluster.ds_names) == ["ds", "ds1"]
+        finally:
+            system.close()
