@@ -17,7 +17,14 @@ faulted execution:
   survive in any store file (composes with :mod:`repro.store.faults`);
 * **liveness** — once the fault window closes, every matched
   publication is eventually delivered and the simulation reaches
-  quiescence (no protocol process parked forever).
+  quiescence (no protocol process parked forever);
+* **alerting** (opt-in per profile) — the SLO engine's burn-rate alerts
+  track the injected faults: every *material* applied fault fires its
+  mapped alert family, no alert fires outside the families the applied
+  faults can explain (zero alerts on a fault-free run), and every alert
+  clears once the system recovers.  This closes the observability loop:
+  chaos proves not just that the system survives faults but that the
+  alerting surface would have told an operator about them.
 
 Each check returns :class:`InvariantResult` rows; a run passes iff all
 rows pass.  The checks are pure functions of run artifacts so they can
@@ -39,6 +46,7 @@ __all__ = [
     "check_privacy",
     "check_durability",
     "check_liveness",
+    "check_alerting",
     "scan_files_for",
 ]
 
@@ -265,6 +273,113 @@ def check_durability(
                 else f"expired ciphertext still on disk: {lingering}",
             )
         )
+    return results
+
+
+# -- alerting ---------------------------------------------------------------
+
+# Applied-fault kind -> the SLOs whose alerts it can legitimately
+# explain.  Latency-shaped faults (loss forces a retry cycle,
+# delay/reorder stretch frames directly) map to the latency SLO — and,
+# should they starve a delivery entirely, to completeness; a duplicated
+# frame reaching a subscriber trips GUID dedup (a delivery-integrity
+# bad event).  Duplicates elsewhere (DS->RS store, pub->DS publish) are
+# absorbed idempotently and map to nothing.
+_FAULT_ALERT_SLOS: dict[str, tuple[str, ...]] = {
+    "drop": ("delivery_latency", "delivery_completeness"),
+    "partition": ("delivery_latency", "delivery_completeness"),
+    "delay": ("delivery_latency",),
+    "reorder": ("delivery_latency",),
+    "duplicate": ("delivery_integrity",),
+}
+
+
+def _explainable_slos(applied_faults: Iterable[Mapping]) -> set:
+    """Every SLO some applied fault could legitimately have degraded."""
+    may_fire: set = set()
+    for entry in applied_faults:
+        kind = entry["kind"]
+        if kind == "duplicate" and not entry.get("dst", "").startswith("sub"):
+            continue  # idempotently absorbed; cannot reach a subscriber's dedup
+        may_fire.update(_FAULT_ALERT_SLOS.get(kind, ()))
+    return may_fire
+
+
+def check_alerting(
+    slo_report: Mapping,
+    applied_faults: list[Mapping],
+    schedule: Mapping,
+) -> list[InvariantResult]:
+    """Burn-rate alerts track the injected faults (see module docstring).
+
+    ``slo_report`` is :meth:`repro.obs.slo.SloEngine.report` output for
+    the run's event timeline; ``applied_faults`` is the injector's
+    applied summary; ``schedule`` is the run's schedule dict (carried
+    for evidence).  Pure in its inputs, so mutation tests can feed
+    hand-built states.
+
+    The two directions of the closure:
+
+    * **detection** (``expected_fired``) — whether an injected fault
+      *degrades* an SLO depends on seed physics (a dropped frame may be
+      retried inside the threshold's headroom; a duplicate may reach a
+      non-matching subscriber), but once a mapped SLO records a bad
+      event the chaos windows (factor 1, sparse traffic) *guarantee* an
+      alert — silence there is an engine bug;
+    * **attribution** (``no_spurious``) — every fired alert must be
+      explainable by some applied fault; a fault-free run must fire
+      nothing.
+    """
+    may_fire = _explainable_slos(applied_faults)
+    slos = slo_report.get("slos", {})
+    # detection is owed wherever an explainable SLO actually degraded
+    must_fire = {
+        slo for slo in may_fire if slos.get(slo, {}).get("bad", 0) > 0
+    }
+    fired = {alert["slo"] for alert in slo_report.get("alerts", [])}
+
+    results: list[InvariantResult] = []
+    silent = sorted(must_fire - fired)
+    results.append(
+        InvariantResult(
+            "alerting",
+            "alerting.expected_fired",
+            not silent,
+            f"every material fault family alerted (fired: {sorted(fired)})"
+            if not silent
+            else f"material faults fired no alert for: {silent} "
+            f"(fired: {sorted(fired)}, applied: {applied_faults})",
+        )
+    )
+    spurious = sorted(fired - may_fire)
+    results.append(
+        InvariantResult(
+            "alerting",
+            "alerting.no_spurious",
+            not spurious,
+            "no alert fired without an applied fault to explain it"
+            if not spurious
+            else f"alerts fired with no explaining fault: {spurious} "
+            f"(applied: {applied_faults})",
+        )
+    )
+    stuck = sorted(
+        {
+            f"{alert['slo']}:{alert['severity']}:{alert['window']}"
+            for alert in slo_report.get("alerts", [])
+            if alert.get("cleared_at") is None
+        }
+    )
+    results.append(
+        InvariantResult(
+            "alerting",
+            "alerting.all_cleared",
+            not stuck,
+            "every fired alert cleared after recovery"
+            if not stuck
+            else f"alerts still active at end of run: {stuck}",
+        )
+    )
     return results
 
 

@@ -34,10 +34,12 @@ from dataclasses import dataclass, field
 
 from ..core.config import P3SConfig
 from ..core.system import P3SSystem
+from ..obs.slo import SloEngine, chaos_slos
 from ..store.wal import WalEngine
 from .inject import SimFaultInjector
 from .invariants import (
     InvariantResult,
+    check_alerting,
     check_delivery,
     check_durability,
     check_liveness,
@@ -62,12 +64,16 @@ class ChaosReport:
     actual: dict[str, list[str]]
     applied_faults: list[dict]
     invariants: list[InvariantResult] = field(default_factory=list)
+    # the SLO engine's report over the run's event timeline; present
+    # only for profiles with alerts=True (kept out of other profiles'
+    # dicts so their historical reports stay byte-identical)
+    slo: dict | None = None
 
     def failures(self) -> list[InvariantResult]:
         return [result for result in self.invariants if not result.passed]
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "seed": self.seed,
             "profile": self.profile,
             "passed": self.passed,
@@ -78,6 +84,9 @@ class ChaosReport:
             "applied_faults": self.applied_faults,
             "invariants": [result.to_dict() for result in self.invariants],
         }
+        if self.slo is not None:
+            out["slo"] = self.slo
+        return out
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
@@ -88,6 +97,70 @@ def _payload_map(delivery_map) -> dict[str, list[str]]:
         name: [payload.decode("utf-8", "replace") for payload in payloads]
         for name, payloads in sorted(delivery_map.items())
     }
+
+
+# SLO evaluation cadence over the run's simulated timeline: fine enough
+# that the page rule's 0.25s short window always gets several looks
+# while a bad event is inside it.
+SLO_TICK_S = 0.05
+# Ticks continue this far past the last event so the slowest window
+# (the ticket rule's 2.5s long window) fully drains and every fired
+# alert gets its chance to clear before `alerting.all_cleared` runs.
+SLO_CLEAR_MARGIN_S = 2.6
+
+
+def _slo_report(system, publisher, expected, epoch: float, prof: Profile) -> dict:
+    """Replay the run's delivery timeline through a chaos SLO engine.
+
+    Every event is a deterministic function of simulated time, so the
+    resulting report (alert history included) is bit-identical across
+    replays of the same seed:
+
+    * ``delivery_latency`` — one value event per delivery,
+      ``delivered_at - submitted_at`` via the publication id;
+    * ``delivery_integrity`` — good per delivery, bad at each
+      duplicate-suppression instant (the wire duplicated a frame);
+    * ``delivery_completeness`` — good per oracle-expected payload
+      delivered, bad at quiescence for each one that never arrived.
+
+    Times are rebased to the chaos epoch (injector arming), matching the
+    fault schedule's clock, and the engine is ticked on a fixed grid
+    through ``SLO_CLEAR_MARGIN_S`` past the last event.
+    """
+    engine = SloEngine(chaos_slos(latency_threshold_s=prof.latency_slo_s))
+    submitted = {
+        record.publication_id: record.submitted_at for record in publisher.published
+    }
+    events: list[tuple[float, str, dict]] = []
+    for name, sub in sorted(system.subscribers.items()):
+        for delivery in sub.stats.deliveries:
+            at = delivery.delivered_at - epoch
+            latency = delivery.delivered_at - submitted[delivery.publication_id]
+            events.append((at, "delivery_latency", {"value": latency}))
+            events.append((at, "delivery_integrity", {"good": True}))
+        for suppressed_at in sub.stats.duplicate_suppressed_at:
+            events.append((suppressed_at - epoch, "delivery_integrity", {"good": False}))
+    quiesce_t = system.now - epoch
+    for name in sorted(expected):
+        sub = system.subscribers.get(name)
+        deliveries = list(sub.stats.deliveries) if sub is not None else []
+        remaining = list(expected.get(name, ()))
+        for delivery in deliveries:
+            if delivery.payload in remaining:
+                remaining.remove(delivery.payload)
+                events.append(
+                    (delivery.delivered_at - epoch, "delivery_completeness", {"good": True})
+                )
+        for _missing in remaining:
+            events.append((quiesce_t, "delivery_completeness", {"good": False}))
+    events.sort(key=lambda event: event[0])
+    for at, slo, kwargs in events:
+        engine.record(slo, at=round(at, 9), **kwargs)
+    last_t = events[-1][0] if events else 0.0
+    ticks = int((last_t + SLO_CLEAR_MARGIN_S) / SLO_TICK_S) + 1
+    for index in range(ticks + 1):
+        engine.evaluate(round(index * SLO_TICK_S, 6))
+    return engine.report()
 
 
 def run_chaos(
@@ -186,6 +259,12 @@ def run_chaos(
         if prof.durable:
             invariants += _check_store_durability(system, data_dir)
         invariants += check_liveness(system, expected, actual)
+        slo_section = None
+        if prof.alerts:
+            slo_section = _slo_report(system, publisher, expected, injector.epoch, prof)
+            invariants += check_alerting(
+                slo_section, injector.applied_summary(), schedule.to_dict()
+            )
 
         report = ChaosReport(
             seed=seed,
@@ -214,6 +293,7 @@ def run_chaos(
             actual=_payload_map(actual),
             applied_faults=injector.applied_summary(),
             invariants=invariants,
+            slo=slo_section,
         )
         return report
     finally:

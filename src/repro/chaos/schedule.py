@@ -160,6 +160,19 @@ class Profile:
     # *replica* is safe only under replication >= 2 (the other replica
     # plus retrieval failover absorbs the outage).
     partition_targets: tuple[str, ...] = ("anon",)
+    # -- SLO alerting closure (repro.obs.slo) ------------------------------
+    # When True the runner evaluates the chaos SLO set over the run's
+    # event timeline and checks the alerting invariant family: material
+    # injected faults must fire their mapped burn-rate alerts, alerts
+    # must clear after recovery, and a fault-free run must fire none.
+    # Opt-in per profile because the property-based suites run arbitrary
+    # seeds on smoke/default, where alert materiality is not guaranteed.
+    alerts: bool = False
+    # delivery-latency SLO threshold (simulated seconds) for the chaos
+    # engine; sits above the fault-free ceiling (base pipeline + one
+    # natural retrieve-before-store retry) so only injected faults
+    # breach it
+    latency_slo_s: float = 0.8
 
 
 PROFILES: dict[str, Profile] = {
@@ -167,7 +180,7 @@ PROFILES: dict[str, Profile] = {
     for profile in (
         Profile("smoke", 2, ("delay", "duplicate"), subscribers=2, publications=2),
         Profile("default", 5, ("drop", "delay", "duplicate", "reorder")),
-        Profile("ci", 6, FAULT_KINDS, durable=True),
+        Profile("ci", 6, FAULT_KINDS, durable=True, alerts=True),
         Profile("heavy", 12, FAULT_KINDS, subscribers=4, publications=6,
                 horizon_s=4.0, durable=True),
         Profile("partition", 3, ("partition", "drop"), durable=False),

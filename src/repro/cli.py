@@ -23,6 +23,9 @@
     python -m repro chaos run --seed 7 --profile ci   # seeded fault-injection run
     python -m repro chaos run --seed 7 --minimize     # shrink a failing schedule
     python -m repro chaos profiles                    # list fault profiles
+    python -m repro slo report --chaos-seed 7 --json  # SLO/alert report for a chaos run
+    python -m repro slo report --state p3s.state      # judge a live deployment's SLOs
+    python -m repro slo watch                         # refreshing burn-rate/alert view
 """
 
 from __future__ import annotations
@@ -333,7 +336,7 @@ async def _scrape_demo_deployment(config, scenario, expected):
         await deployment.close()
 
 
-def _print_status(aggregator) -> None:
+def _print_status(aggregator, engine=None) -> None:
     latency = aggregator.latency_summary()
     print(format_table(
         ["service", "alive", "ready", "failing checks"],
@@ -356,6 +359,14 @@ def _print_status(aggregator) -> None:
         f"spans aggregated: {len(aggregator.spans())}, "
         f"dropped by flight recorders: {aggregator.total_dropped_spans}"
     )
+    if engine is not None:
+        active = engine.active_alerts()
+        if active:
+            print("SLO alerts: " + ", ".join(
+                f"{alert.slo}[{alert.severity} {alert.window}]" for alert in active
+            ))
+        else:
+            print("SLO alerts: none")
 
 
 def _cmd_live_status(args) -> None:
@@ -385,71 +396,110 @@ def _cmd_live_status(args) -> None:
             aggregator = asyncio.run(_scrape_demo_deployment(config, scenario, expected))
         finally:
             obs.uninstall()
+    # judge the scrape against the stock wall-clock SLOs so alert state
+    # rides along in every output form (table footer, JSON, slo_* series)
+    from .obs.slo import SLO_GAUGE_METRICS, SloEngine, default_slos
+
+    engine = SloEngine(default_slos(latency_threshold_s=2.5))
+    engine.ingest(aggregator, now=0.0)
+    engine.evaluate(0.0)
     if args.metrics_out:
         from .live.telemetry import GAUGE_METRICS
         from .obs import to_openmetrics
 
+        base = to_openmetrics(aggregator.merged_registry(), gauge_names=GAUGE_METRICS)
+        slo_text = to_openmetrics(engine.registry(), gauge_names=SLO_GAUGE_METRICS)
         with open(args.metrics_out, "w") as handle:
-            handle.write(
-                to_openmetrics(aggregator.merged_registry(), gauge_names=GAUGE_METRICS)
-            )
+            # one exposition: splice the slo_* families before the EOF
+            handle.write(base[: -len("# EOF\n")] + slo_text)
     if args.json:
-        print(json.dumps(aggregator.to_json(), indent=2, default=str))
+        document = aggregator.to_json()
+        document["slo"] = engine.report()
+        print(json.dumps(document, indent=2, default=str))
     else:
-        _print_status(aggregator)
+        _print_status(aggregator, engine)
     if not aggregator.all_ready:
         raise SystemExit(1)
 
 
-async def _live_top(args) -> None:
+async def _open_telemetry_session(args, purpose: str):
+    """``(client, services, close)`` for a telemetry-consuming command.
+
+    With ``--state`` this connects to a running multi-process
+    deployment; without, it stands up a self-driving in-process
+    deployment with a background publisher so the view has live traffic
+    to show.  ``close`` is an async callable tearing down whatever was
+    created.
+    """
     import asyncio
     import contextlib
-    import time as wall
 
     from .live.telemetry import TelemetryClient
-    from .obs.aggregate import TelemetryAggregator
 
-    deployment = None
-    driver: asyncio.Task | None = None
-    stop = asyncio.Event()
     if args.state:
         from .live.runner import load_state, service_roles
 
         state = load_state(args.state)
         services = list(service_roles(state))
-        client = TelemetryClient(state.endpoint("top"), services)
-    else:
-        # self-driving mode: in-process deployment plus a background
-        # publisher so the view has live traffic to show
-        from .core.config import P3SConfig
-        from .live.deployment import LiveDeployment
-        from .obs import Observability
-        from .obs.ring import DEFAULT_FLIGHT_RECORDER_CAPACITY
-        from .pbe.schema import Interest
+        client = TelemetryClient(state.endpoint(purpose), services)
 
-        obs = Observability(span_capacity=DEFAULT_FLIGHT_RECORDER_CAPACITY)
-        deployment = LiveDeployment(P3SConfig(obs=obs))
-        await deployment.start()
-        subscriber = await deployment.add_subscriber("alice", {"org:acme"})
-        await subscriber.subscribe(Interest({"attr00": "v01"}))
-        publisher = await deployment.add_publisher("pub")
+        async def close() -> None:
+            await client.close()
 
-        async def _drive() -> None:
-            tick = 0
-            while not stop.is_set():
-                await publisher.publish(
-                    _demo_metadata(attr00="v01"),
-                    f"tick {tick}".encode(),
-                    policy="org:acme",
-                )
-                tick += 1
-                await asyncio.sleep(0.05)
+        return client, services, close
 
-        driver = asyncio.ensure_future(_drive())
-        services = list(deployment.service_names)
-        client = deployment.telemetry_client("top")
+    from .core.config import P3SConfig
+    from .live.deployment import LiveDeployment
+    from .obs import Observability
+    from .obs.ring import DEFAULT_FLIGHT_RECORDER_CAPACITY
+    from .pbe.schema import Interest
 
+    obs = Observability(span_capacity=DEFAULT_FLIGHT_RECORDER_CAPACITY)
+    deployment = LiveDeployment(P3SConfig(obs=obs))
+    await deployment.start()
+    subscriber = await deployment.add_subscriber("alice", {"org:acme"})
+    await subscriber.subscribe(Interest({"attr00": "v01"}))
+    publisher = await deployment.add_publisher("pub")
+    stop = asyncio.Event()
+
+    async def _drive() -> None:
+        tick = 0
+        while not stop.is_set():
+            await publisher.publish(
+                _demo_metadata(attr00="v01"),
+                f"tick {tick}".encode(),
+                policy="org:acme",
+            )
+            tick += 1
+            await asyncio.sleep(0.05)
+
+    driver = asyncio.ensure_future(_drive())
+    client = deployment.telemetry_client(purpose)
+
+    async def close() -> None:
+        stop.set()
+        driver.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await driver
+        await client.close()
+        await deployment.close()
+        if deployment.obs is not None:
+            deployment.obs.uninstall()
+
+    return client, list(deployment.service_names), close
+
+
+async def _live_top(args) -> None:
+    import asyncio
+    import time as wall
+
+    from .obs.aggregate import TelemetryAggregator
+    from .obs.slo import SloEngine, default_slos
+
+    client, services, close = await _open_telemetry_session(args, "top")
     aggregator = TelemetryAggregator(latency_window=args.window)
+    engine = SloEngine(default_slos())
+    started = wall.monotonic()
     previous: dict[str, float] = {}
     previous_at: float | None = None
     try:
@@ -458,6 +508,10 @@ async def _live_top(args) -> None:
                 await asyncio.sleep(args.interval)
             await client.scrape(aggregator)
             now = wall.monotonic()
+            run_t = now - started
+            engine.ingest(aggregator, now=run_t)
+            engine.evaluate(run_t)
+            active = engine.active_alerts()
             elapsed = (now - previous_at) if previous_at is not None else None
             rows = []
             for service in services:
@@ -469,6 +523,10 @@ async def _live_top(args) -> None:
                     else 0.0
                 )
                 previous[service] = frames
+                service_alerts = sum(
+                    1 for alert in active
+                    if dict(alert.labels).get("service") == service
+                )
                 rows.append([
                     service,
                     "yes" if health.get("ready") else "NO",
@@ -479,6 +537,7 @@ async def _live_top(args) -> None:
                     f"{aggregator.service_counter_total(service, 'live.rpc.reconnects'):.0f}",
                     format_size(aggregator.service_counter_total(service, "live.net.tx_bytes")),
                     format_size(aggregator.service_counter_total(service, "live.net.rx_bytes")),
+                    str(service_alerts) if service_alerts else "-",
                 ])
             previous_at = now
             latency = aggregator.latency_summary()
@@ -486,7 +545,7 @@ async def _live_top(args) -> None:
                 print("\x1b[2J\x1b[H", end="")
             print(format_table(
                 ["service", "ready", "rx fr/s", "conns", "inflight", "pend hw",
-                 "reconn", "tx", "rx"],
+                 "reconn", "tx", "rx", "alerts"],
                 rows,
                 title=f"repro live top — sweep {iteration + 1}/{args.iterations}",
             ))
@@ -500,17 +559,17 @@ async def _live_top(args) -> None:
                 f"spans: {len(aggregator.spans())} aggregated, "
                 f"{aggregator.total_dropped_spans} dropped"
             )
+            if active:
+                print("SLO alerts: " + ", ".join(
+                    f"{alert.slo}[{alert.severity} {alert.window}]"
+                    + (f" {dict(alert.labels).get('service')}"
+                       if dict(alert.labels).get("service") else "")
+                    for alert in active
+                ))
+            else:
+                print("SLO alerts: none")
     finally:
-        stop.set()
-        if driver is not None:
-            driver.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await driver
-        await client.close()
-        if deployment is not None:
-            await deployment.close()
-            if deployment.obs is not None:
-                deployment.obs.uninstall()
+        await close()
 
 
 def _cmd_live_top(args) -> None:
@@ -656,6 +715,206 @@ def _cmd_chaos_profiles(args) -> None:
         rows,
         title="chaos fault profiles",
     ))
+
+
+def _print_slo_report(report: dict) -> None:
+    rows = []
+    for name, entry in report["slos"].items():
+        worst_burn = max(
+            (rates["long_burn"] for rates in entry["burn_rates"].values()),
+            default=0.0,
+        )
+        rows.append([
+            name,
+            f"{entry['objective']:.2f}",
+            str(entry["good"]),
+            str(entry["bad"]),
+            f"{entry['error_budget_remaining']:.3f}",
+            f"{worst_burn:.2f}",
+            str(entry["active_alerts"]) if entry["active_alerts"] else "-",
+        ])
+    print(format_table(
+        ["slo", "objective", "good", "bad", "budget left", "worst burn", "active"],
+        rows,
+        title=f"SLO report — evaluated at t={report['evaluated_at']:.2f}s",
+    ))
+    alerts = report.get("alerts", [])
+    if not alerts:
+        print("\nno burn-rate alerts fired")
+        return
+    print()
+    print(format_table(
+        ["slo", "severity", "window", "fired at", "cleared at"],
+        [
+            [
+                alert["slo"], alert["severity"], alert["window"],
+                f"{alert['fired_at']:.2f}",
+                f"{alert['cleared_at']:.2f}"
+                if alert["cleared_at"] is not None else "ACTIVE",
+            ]
+            for alert in alerts
+        ],
+        title="burn-rate alerts (fire→clear episodes)",
+    ))
+
+
+def _slo_report_doc(args) -> dict:
+    """Build the SLO report document from whichever source was selected."""
+    import json
+
+    if args.chaos_report:
+        with open(args.chaos_report) as handle:
+            data = json.load(handle)
+        doc = data.get("slo")
+        if doc is None:
+            raise SystemExit(
+                f"{args.chaos_report} has no 'slo' section — rerun the chaos "
+                "run with an alerting profile (e.g. --profile ci)"
+            )
+        return doc
+    if args.chaos_seed is not None:
+        from .chaos import FaultSchedule, run_chaos
+
+        schedule = None
+        if args.no_faults:
+            schedule = FaultSchedule(seed=args.chaos_seed, profile=args.profile)
+        report = run_chaos(args.chaos_seed, args.profile, schedule=schedule)
+        if report.slo is None:
+            raise SystemExit(
+                f"profile {args.profile!r} does not enable alerting — "
+                "use --profile ci"
+            )
+        return report.slo
+
+    # live mode: one telemetry sweep (running deployment or in-process
+    # demo), judged by the wall-clock SLO set
+    import asyncio
+
+    from .obs.slo import SloEngine, default_slos
+
+    if args.state:
+        from .live.runner import load_state, service_roles
+
+        state = load_state(args.state)
+        aggregator = asyncio.run(
+            _scrape_deployment_state(state, service_roles(state))
+        )
+    else:
+        from .core.config import P3SConfig
+        from .live.scenario import default_scenario, run_on_simulator
+        from .obs import Observability
+        from .obs.ring import DEFAULT_FLIGHT_RECORDER_CAPACITY
+
+        scenario = default_scenario()
+        expected = run_on_simulator(scenario, P3SConfig())
+        obs = Observability(span_capacity=DEFAULT_FLIGHT_RECORDER_CAPACITY)
+        config = P3SConfig(obs=obs)
+        try:
+            aggregator = asyncio.run(
+                _scrape_demo_deployment(config, scenario, expected)
+            )
+        finally:
+            obs.uninstall()
+    engine = SloEngine(default_slos(latency_threshold_s=args.latency_slo))
+    engine.ingest(aggregator, now=0.0)
+    engine.evaluate(0.0)
+    return engine.report()
+
+
+def _cmd_slo_report(args) -> None:
+    import json
+
+    doc = _slo_report_doc(args)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        _print_slo_report(doc)
+    # CI gates: --expect-alert / --expect-clean turn the report into a
+    # pass/fail check (see .github/workflows/ci.yml, job test-slo)
+    fired = {alert["slo"] for alert in doc.get("alerts", [])}
+    failures = []
+    for slo in args.expect_alert:
+        if slo not in fired:
+            failures.append(f"expected an alert for SLO {slo!r}; none fired")
+    if args.expect_clean and fired:
+        failures.append(f"expected a clean run; alerts fired for {sorted(fired)}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAIL: {failure}")
+        raise SystemExit(1)
+    if args.expect_alert or args.expect_clean:
+        print("gate ok")
+
+
+async def _slo_watch(args) -> None:
+    import asyncio
+    import time as wall
+
+    from .obs.aggregate import TelemetryAggregator
+    from .obs.slo import SloEngine, default_slos
+
+    client, services, close = await _open_telemetry_session(args, "slo")
+    aggregator = TelemetryAggregator()
+    engine = SloEngine(default_slos(latency_threshold_s=args.latency_slo))
+    started = wall.monotonic()
+    try:
+        for iteration in range(args.iterations):
+            if iteration:
+                await asyncio.sleep(args.interval)
+            await client.scrape(aggregator)
+            run_t = wall.monotonic() - started
+            engine.ingest(aggregator, now=run_t)
+            engine.evaluate(run_t)
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            report = engine.report(run_t)
+            rows = []
+            for name, entry in report["slos"].items():
+                fast = next(iter(entry["burn_rates"].values()))
+                rows.append([
+                    name,
+                    f"{entry['objective']:.2f}",
+                    f"{entry['good']}/{entry['bad']}",
+                    f"{entry['error_budget_remaining']:.3f}",
+                    f"{fast['short_burn']:.2f}",
+                    f"{fast['long_burn']:.2f}",
+                    str(entry["active_alerts"]) if entry["active_alerts"] else "-",
+                ])
+            print(format_table(
+                ["slo", "obj", "good/bad", "budget left",
+                 "fast short", "fast long", "active"],
+                rows,
+                title=(
+                    f"repro slo watch — sweep {iteration + 1}/{args.iterations}, "
+                    f"t={run_t:.1f}s"
+                ),
+            ))
+            active = engine.active_alerts()
+            if active:
+                for alert in active:
+                    labels = dict(alert.labels)
+                    where = f" ({labels['service']})" if "service" in labels else ""
+                    print(
+                        f"ALERT {alert.severity}: {alert.slo}{where} "
+                        f"window {alert.window}, firing since t={alert.fired_at:.1f}s"
+                    )
+            else:
+                print("no active alerts")
+    finally:
+        await close()
+
+
+def _cmd_slo_watch(args) -> None:
+    import asyncio
+
+    try:
+        asyncio.run(_slo_watch(args))
+    except KeyboardInterrupt:
+        pass
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -850,6 +1109,76 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_run.set_defaults(func=_cmd_chaos_run)
     chaos_profiles = chaos_sub.add_parser("profiles", help="list fault profiles")
     chaos_profiles.set_defaults(func=_cmd_chaos_profiles)
+
+    slo = sub.add_parser(
+        "slo", help="service-level objectives: budgets, burn rates, alerts"
+    )
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+    slo_report = slo_sub.add_parser(
+        "report",
+        help="one-shot SLO report: from a fresh chaos run (--chaos-seed), a "
+             "saved chaos report (--chaos-report), a running deployment "
+             "(--state), or an in-process demo deployment (no flags)",
+    )
+    slo_report.add_argument(
+        "--state", metavar="FILE", default=None,
+        help="judge a running multi-process deployment's telemetry",
+    )
+    slo_report.add_argument(
+        "--chaos-report", metavar="FILE", default=None,
+        help="read the 'slo' section of a saved chaos run report",
+    )
+    slo_report.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="N",
+        help="run one seeded chaos run and report its SLO timeline",
+    )
+    slo_report.add_argument(
+        "--profile", default="ci",
+        help="chaos profile for --chaos-seed (must enable alerting; default: ci)",
+    )
+    slo_report.add_argument(
+        "--no-faults", action="store_true",
+        help="with --chaos-seed: run with an empty fault schedule "
+             "(fault-free baseline for --expect-clean)",
+    )
+    slo_report.add_argument(
+        "--latency-slo", type=float, default=2.5, metavar="SECONDS",
+        help="delivery-latency threshold for live/demo mode (default: 2.5 — "
+             "headroom for the real TOY-parameter crypto on a shared box)",
+    )
+    slo_report.add_argument("--json", action="store_true", help="emit JSON")
+    slo_report.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the JSON report to PATH (CI artifact)",
+    )
+    slo_report.add_argument(
+        "--expect-alert", action="append", default=[], metavar="SLO",
+        help="exit 1 unless an alert fired for SLO (repeatable; CI gate)",
+    )
+    slo_report.add_argument(
+        "--expect-clean", action="store_true",
+        help="exit 1 if any alert fired (CI gate for fault-free runs)",
+    )
+    slo_report.set_defaults(func=_cmd_slo_report)
+    slo_watch = slo_sub.add_parser(
+        "watch", help="refreshing burn-rate / active-alert view"
+    )
+    slo_watch.add_argument(
+        "--state", metavar="FILE", default=None,
+        help="poll a running multi-process deployment; omit for a "
+             "self-driving in-process deployment",
+    )
+    slo_watch.add_argument("--interval", type=float, default=1.0, metavar="SECONDS")
+    slo_watch.add_argument("--iterations", type=int, default=5, metavar="N")
+    slo_watch.add_argument(
+        "--latency-slo", type=float, default=2.5, metavar="SECONDS",
+        help="delivery-latency threshold (default: 2.5)",
+    )
+    slo_watch.add_argument(
+        "--no-clear", action="store_true",
+        help="append sweeps instead of clearing the screen (for logs/CI)",
+    )
+    slo_watch.set_defaults(func=_cmd_slo_watch)
 
     store = sub.add_parser("store", help="inspect repro.store files")
     store_sub = store.add_subparsers(dest="store_command", required=True)

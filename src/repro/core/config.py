@@ -131,6 +131,13 @@ class P3SConfig:
     # to None: the ack timeout holds the simulation open past
     # quiescence on loss-free runs.  The chaos runner always enables it.
     reliable_publish: bool = False
+    # -- SLO engine (repro.obs.slo; see docs/OBSERVABILITY.md) --
+    # A repro.obs.SloEngine to evaluate this deployment's service-level
+    # objectives (delivery latency, publish-ack success, store recovery)
+    # with error-budget accounting and multi-window burn-rate alerting,
+    # or None: no SLO evaluation.  The chaos runner builds its own
+    # engine per run; `repro slo report` feeds one from live telemetry.
+    slo: object | None = None
 
     def with_(self, **overrides) -> "P3SConfig":
         """A copy with the given fields replaced."""

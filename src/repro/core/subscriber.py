@@ -153,6 +153,9 @@ class SubscriberStats:
     failed_fetches: int = 0  # expired / unknown GUID at the RS
     access_denied: int = 0  # CP-ABE attributes insufficient
     duplicates_suppressed: int = 0  # retransmitted frames dropped by GUID dedup
+    # simulated times of each suppression — the chaos SLO engine turns
+    # these into delivery-integrity events at their exact instants
+    duplicate_suppressed_at: list[float] = field(default_factory=list)
     deliveries: list[Delivery] = field(default_factory=list)
 
 
@@ -336,6 +339,7 @@ class Subscriber:
             # retransmitted metadata frame: the pipeline already ran (or
             # is running) for this GUID — deliver-at-most-once holds here
             self.stats.duplicates_suppressed += 1
+            self.stats.duplicate_suppressed_at.append(self.sim.now)
             obs.record_op("subscriber.duplicate_suppressed")
             return
         yield from self._retrieve_process(guid, envelope.publication_id, parent=span)

@@ -312,6 +312,12 @@ class LiveSubscriber:
         frame: JmsFrame = message.payload
         if frame.topic != self.metadata_topic:
             return
+        # ACK on receipt, mirroring the simulator consumer
+        # (mq.client.MessageConsumer): the DS's delivered/acked counters
+        # are the publish-ack SLO signal
+        await self.endpoint.cast(
+            src, frames.ACK, JmsFrame(message_id=frame.message_id)
+        )
         envelope: EncryptedMetadata = frame.body
         self.stats.metadata_seen += 1
         span = obs.start_span(
@@ -332,6 +338,7 @@ class LiveSubscriber:
             # duplicated DELIVER frame: this GUID's retrieve pipeline
             # already ran — same at-most-once boundary as the simulator
             self.stats.duplicates_suppressed += 1
+            self.stats.duplicate_suppressed_at.append(self.clock())
             obs.record_op("subscriber.duplicate_suppressed")
             return
         await self._retrieve(guid, envelope.publication_id, parent=span)

@@ -87,6 +87,8 @@ def _store_samples(engine: StorageEngine, recovered: int) -> list[dict]:
         {"name": "store.compactions", "labels": {},
          "value": status.get("compactions", 0)},
         {"name": "store.recovered", "labels": {}, "value": recovered},
+        {"name": "store.recovery_s", "labels": {},
+         "value": status.get("recovery", {}).get("duration_s", 0.0)},
     ]
 
 

@@ -67,6 +67,8 @@ GAUGE_METRICS = frozenset(
         "ds.registered_tokens",
         "rs.stored_items",
         "obs.slow_spans",
+        "obs.sampler.keep_rate",
+        "store.recovery_s",
     }
 )
 
@@ -164,6 +166,15 @@ def service_metrics_snapshot(service) -> dict[str, Any]:
         counters.append(
             {"name": "obs.slow_spans", "labels": {}, "value": len(obs.tracer.slow_spans)}
         )
+        sampler = obs.sampler
+        if sampler is not None:
+            for counter, value in sampler.counters().items():
+                counters.append(
+                    {"name": f"obs.sampler.{counter}", "labels": {}, "value": value}
+                )
+            counters.append(
+                {"name": "obs.sampler.keep_rate", "labels": {}, "value": sampler.keep_rate}
+            )
     return {
         "service": name,
         "time": time.time(),

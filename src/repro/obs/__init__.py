@@ -23,6 +23,11 @@ Pieces:
 * :mod:`~repro.obs.aggregate` — :class:`TelemetryAggregator`, merging
   per-service scrapes into one deployment-wide registry and reassembling
   cross-socket publish→deliver span trees;
+* :mod:`~repro.obs.sampling` — :class:`TraceSampler`, deterministic
+  seedable tail-based trace sampling (head decision propagated in the
+  context header, slow/error traces always promoted);
+* :mod:`~repro.obs.slo` — :class:`SloEngine`, declarative SLOs with
+  error-budget accounting and multi-window multi-burn-rate alerting;
 * :mod:`~repro.obs.observability` — the :class:`Observability` bundle
   experiments pass via ``P3SConfig(obs=...)``.
 """
@@ -40,10 +45,32 @@ from .metrics import Counter, Histogram, MetricsRegistry
 from .observability import Observability
 from .profile import active, instrument, record_op
 from .ring import DEFAULT_FLIGHT_RECORDER_CAPACITY, FlightRecorder
+from .sampling import TraceSampler
+from .slo import (
+    CHAOS_WINDOWS,
+    DEFAULT_WINDOWS,
+    SLO_GAUGE_METRICS,
+    Alert,
+    BurnRateWindow,
+    SloEngine,
+    SloSpec,
+    chaos_slos,
+    default_slos,
+)
 from .tracing import CONTEXT_HEADER, Span, SpanContext, Tracer
 
 __all__ = [
     "Observability",
+    "TraceSampler",
+    "SloEngine",
+    "SloSpec",
+    "BurnRateWindow",
+    "Alert",
+    "DEFAULT_WINDOWS",
+    "CHAOS_WINDOWS",
+    "SLO_GAUGE_METRICS",
+    "default_slos",
+    "chaos_slos",
     "Tracer",
     "Span",
     "SpanContext",

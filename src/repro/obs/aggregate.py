@@ -22,24 +22,39 @@ dicts by hand, or by an offline tool replaying scraped JSON.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from .export import format_op_summary
 from .metrics import Histogram, MetricsRegistry
 
-__all__ = ["TelemetryAggregator"]
+__all__ = ["TelemetryAggregator", "DEFAULT_SPAN_TABLE_CAPACITY"]
 
 SERVICE_LABEL = "service"
+
+# Span-dedup table bound: a `live top` left running for a week must not
+# grow without limit, so the table is an LRU over span identity — the
+# oldest-touched entries are evicted first and the eviction count is
+# exported (truncation is never silent).
+DEFAULT_SPAN_TABLE_CAPACITY = 8192
 
 
 class TelemetryAggregator:
     """Deployment-wide merge of per-service telemetry snapshots."""
 
-    def __init__(self, latency_window: int = 256):
+    def __init__(
+        self,
+        latency_window: int = 256,
+        span_table_capacity: int | None = DEFAULT_SPAN_TABLE_CAPACITY,
+    ):
         self.latency_window = latency_window
+        self.span_table_capacity = span_table_capacity
         self._health: dict[str, dict] = {}
         self._metrics: dict[str, dict] = {}
-        # (trace_id, span_id) -> span dict; finished spans win over open ones
-        self._spans: dict[tuple[int, int], dict] = {}
+        # (trace_id, span_id) -> span dict; finished spans win over open
+        # ones; LRU-ordered so the bound evicts the least recently seen
+        self._spans: OrderedDict[tuple[int, int], dict] = OrderedDict()
         self.total_dropped_spans = 0
+        self.span_evictions = 0
 
     # -- feeding ---------------------------------------------------------------
 
@@ -71,6 +86,11 @@ class TelemetryAggregator:
             existing = self._spans.get(key)
             if existing is None or (existing.get("end_s") is None and span.get("end_s") is not None):
                 self._spans[key] = span
+            self._spans.move_to_end(key)
+        if self.span_table_capacity is not None:
+            while len(self._spans) > self.span_table_capacity:
+                self._spans.popitem(last=False)
+                self.span_evictions += 1
         if dropped:
             self.total_dropped_spans += dropped
 
@@ -162,14 +182,16 @@ class TelemetryAggregator:
     def trace(self, trace_id: int) -> list[dict]:
         return [span for (t, _), span in sorted(self._spans.items()) if t == trace_id]
 
-    def publish_deliver_latencies(self) -> list[float]:
-        """End-to-end publish→deliver seconds per reassembled trace.
+    def publish_deliver_trace_latencies(self) -> dict[int, float]:
+        """End-to-end publish→deliver seconds keyed by trace id.
 
         A trace contributes once per completed delivery tree: latency is
         the latest ``deliver`` span end minus the ``publish`` root start,
         both on the exporting process's telemetry clock.  Traces still
         missing either side (payload in flight, span not yet drained)
-        are skipped — they complete on a later poll.
+        are skipped — they complete on a later poll.  The trace-id
+        keying is what lets the SLO engine ingest incrementally and
+        attach exemplars.
         """
         publishes: dict[int, float] = {}
         deliver_ends: dict[int, float] = {}
@@ -180,11 +202,15 @@ class TelemetryAggregator:
                 deliver_ends[trace_id] = max(
                     deliver_ends.get(trace_id, float("-inf")), span["end_s"]
                 )
-        latencies = [
-            deliver_ends[trace_id] - start
+        return {
+            trace_id: deliver_ends[trace_id] - start
             for trace_id, start in sorted(publishes.items())
             if trace_id in deliver_ends
-        ]
+        }
+
+    def publish_deliver_latencies(self) -> list[float]:
+        """Latency values in trace order, windowed to ``latency_window``."""
+        latencies = list(self.publish_deliver_trace_latencies().values())
         return latencies[-self.latency_window :]
 
     def latency_summary(self) -> dict[str, float]:
@@ -200,6 +226,38 @@ class TelemetryAggregator:
         }
 
     # -- export ------------------------------------------------------------------
+
+    def service_observability(self, service: str) -> dict:
+        """One service's span-pipeline health: drops, slow spans, sampler.
+
+        Read from the service's latest metrics snapshot, so it reflects
+        what that process reported — not what this aggregator retained.
+        The ``sampler`` block only appears when the service runs a
+        tail sampler (``obs.sampler.*`` counters present).
+        """
+        names = {
+            entry["name"]
+            for entry in self._metrics.get(service, {}).get("counters", [])
+        }
+        block: dict[str, object] = {
+            "dropped_spans": self.service_counter_total(service, "obs.dropped_spans"),
+            "slow_spans": self.service_counter_total(service, "obs.slow_spans"),
+        }
+        if "obs.sampler.keep_rate" in names:
+            block["sampler"] = {
+                "keep_rate": self.service_counter_total(service, "obs.sampler.keep_rate"),
+                "kept_traces": self.service_counter_total(service, "obs.sampler.kept_traces"),
+                "dropped_traces": self.service_counter_total(
+                    service, "obs.sampler.dropped_traces"
+                ),
+                "promoted_traces": self.service_counter_total(
+                    service, "obs.sampler.promoted_traces"
+                ),
+                "evicted_traces": self.service_counter_total(
+                    service, "obs.sampler.evicted_traces"
+                ),
+            }
+        return block
 
     def to_json(self) -> dict:
         """The ``repro live status --json`` document."""
@@ -221,4 +279,9 @@ class TelemetryAggregator:
             "latency": self.latency_summary(),
             "dropped_spans": self.total_dropped_spans,
             "span_count": len(self._spans),
+            "span_evictions": self.span_evictions,
+            "observability": {
+                service: self.service_observability(service)
+                for service in sorted(self._metrics)
+            },
         }

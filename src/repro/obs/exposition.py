@@ -11,7 +11,15 @@ Prometheus.  This module owns the text side:
   and a terminating ``# EOF``;
 * :func:`parse_openmetrics` — a small, strict parser used by tests (and
   handy for ad-hoc tooling) to prove the exposition round-trips: every
-  rendered sample must come back with the same name, labels, and value.
+  rendered sample must come back with the same name, labels, and value,
+  and :meth:`Exposition.render` re-emits the parsed document
+  byte-identically (exposition → parse → re-expose is the identity).
+
+Histogram series carrying exemplars (:class:`~repro.obs.metrics.Histogram`
+``(value, trace_id)`` pairs) render their worst exemplar on the highest
+quantile line as an OpenMetrics exemplar annotation —
+``… 0.91 # {trace_id="17"} 0.91`` — which is how an SLO alert links
+directly to the offending trace.
 
 Only the subset of OpenMetrics this repo emits is supported — counter,
 gauge, and summary families with float values.  That is deliberate: the
@@ -39,8 +47,10 @@ _VALID_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 _SAMPLE_LINE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>.*)\})?"
-    r"\s+(?P<value>[^\s]+)\s*$"
+    r"(?:\{(?P<labels>.*?)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+#\s+\{(?P<exemplar_labels>[^}]*)\}\s+(?P<exemplar_value>[^\s]+))?"
+    r"\s*$"
 )
 _LABEL_PAIR = re.compile(r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)')
 
@@ -83,9 +93,12 @@ def _format_labels(labels: dict[str, str]) -> str:
 
 
 def _format_value(value: float) -> str:
-    if isinstance(value, float) and value.is_integer():
-        return str(int(value))
-    return repr(float(value))
+    # Integral values render without a fraction regardless of int/float
+    # representation, so exposition → parse → re-expose is the identity.
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
 
 
 def to_openmetrics(
@@ -127,12 +140,19 @@ def to_openmetrics(
         lines.append(f"# TYPE {flat} summary")
         for label_key, histogram in series:
             labels = {**dict(label_key), **stamp}
-            for quantile in SUMMARY_QUANTILES:
+            top = getattr(histogram, "top_exemplar", None)
+            for index, quantile in enumerate(SUMMARY_QUANTILES):
                 q_labels = {**labels, "quantile": f"{quantile:g}"}
-                lines.append(
+                line = (
                     f"{flat}{_format_labels(q_labels)} "
                     f"{_format_value(histogram.percentile(quantile))}"
                 )
+                # the worst exemplar annotates the highest quantile:
+                # an alerting p99 links straight to its worst trace
+                if top is not None and index == len(SUMMARY_QUANTILES) - 1:
+                    value, trace_id = top
+                    line += f' # {{trace_id="{trace_id}"}} {_format_value(value)}'
+                lines.append(line)
             lines.append(f"{flat}_count{_format_labels(labels)} {_format_value(float(histogram.count))}")
             lines.append(f"{flat}_sum{_format_labels(labels)} {_format_value(histogram.total)}")
 
@@ -145,15 +165,29 @@ _LabelsKey = tuple[tuple[str, str], ...]
 
 @dataclass
 class Exposition:
-    """A parsed exposition: sample values plus family types."""
+    """A parsed exposition: sample values, family types, exemplars.
+
+    ``samples`` and ``types`` preserve document order (insertion-ordered
+    dicts), which is what lets :meth:`render` re-emit the exposition
+    byte-identically — the round-trip proof the tests lean on.
+    """
 
     types: dict[str, str] = field(default_factory=dict)
     samples: dict[tuple[str, _LabelsKey], float] = field(default_factory=dict)
+    # sample key -> (exemplar labels, exemplar value)
+    exemplars: dict[tuple[str, _LabelsKey], tuple[_LabelsKey, float]] = field(
+        default_factory=dict
+    )
 
     def value(self, name: str, **labels: str) -> float:
         """One sample's value; raises ``KeyError`` when absent."""
         key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
         return self.samples[key]
+
+    def exemplar(self, name: str, **labels: str) -> tuple[_LabelsKey, float] | None:
+        """One sample's exemplar annotation, or ``None``."""
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return self.exemplars.get(key)
 
     def sample_names(self) -> list[str]:
         return sorted({name for name, _ in self.samples})
@@ -161,6 +195,45 @@ class Exposition:
     def total(self, name: str) -> float:
         """Sum of every sample of ``name`` across label sets."""
         return sum(v for (n, _), v in self.samples.items() if n == name)
+
+    def _family_of(self, sample_name: str) -> str | None:
+        """The family a sample belongs to (for TYPE-line placement)."""
+        if sample_name in self.types:
+            return sample_name
+        for suffix in ("_total", "_count", "_sum"):
+            if sample_name.endswith(suffix):
+                family = sample_name[: -len(suffix)]
+                if family in self.types:
+                    return family
+        return None
+
+    def render(self) -> str:
+        """Re-emit the exposition text, byte-identical to its source.
+
+        Emits each family's ``# TYPE`` line immediately before its first
+        sample, samples in parsed order, exemplar annotations included —
+        the same layout :func:`to_openmetrics` produces, so
+        ``render(parse_openmetrics(text)) == text`` for any text this
+        module generated.
+        """
+        lines: list[str] = []
+        emitted: set[str] = set()
+        for (name, labels_key), value in self.samples.items():
+            family = self._family_of(name)
+            if family is not None and family not in emitted:
+                lines.append(f"# TYPE {family} {self.types[family]}")
+                emitted.add(family)
+            line = f"{name}{_format_labels(dict(labels_key))} {_format_value(value)}"
+            annotation = self.exemplars.get((name, labels_key))
+            if annotation is not None:
+                exemplar_labels, exemplar_value = annotation
+                line += (
+                    f" # {_format_labels(dict(exemplar_labels)) or '{}'}"
+                    f" {_format_value(exemplar_value)}"
+                )
+            lines.append(line)
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
 
 
 def _parse_labels(raw: str) -> _LabelsKey:
@@ -205,7 +278,20 @@ def parse_openmetrics(text: str) -> Exposition:
             value = float(match.group("value"))
         except ValueError as exc:
             raise ValueError(f"line {line_number}: bad value {match.group('value')!r}") from exc
-        exposition.samples[(match.group("name"), labels)] = value
+        key = (match.group("name"), labels)
+        exposition.samples[key] = value
+        if match.group("exemplar_value") is not None:
+            try:
+                exemplar_value = float(match.group("exemplar_value"))
+            except ValueError as exc:
+                raise ValueError(
+                    f"line {line_number}: bad exemplar value "
+                    f"{match.group('exemplar_value')!r}"
+                ) from exc
+            exposition.exemplars[key] = (
+                _parse_labels(match.group("exemplar_labels") or ""),
+                exemplar_value,
+            )
     if not saw_eof:
         raise ValueError("exposition missing terminating # EOF")
     return exposition

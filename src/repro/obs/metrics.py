@@ -65,6 +65,12 @@ class Counter:
         self.value += amount
 
 
+# Exemplars retained per histogram series: the largest-valued
+# observations with an attached trace id, so an alerting quantile links
+# straight to an offending trace.
+MAX_EXEMPLARS = 8
+
+
 @dataclass
 class Histogram:
     """All observed values for one (name, labels) series.
@@ -72,14 +78,31 @@ class Histogram:
     Raw values are kept (simulation scale makes this cheap) so any
     percentile can be computed exactly with the same nearest-rank rule as
     :class:`repro.core.metrics.LatencyStats`.
+
+    ``exemplars`` holds up to :data:`MAX_EXEMPLARS` ``(value, trace_id)``
+    pairs — the worst observations seen, each pointing at the trace that
+    produced it.  The OpenMetrics exposition attaches the top exemplar
+    to the highest quantile line.
     """
 
     name: str
     labels: _LabelKey
     values: list[float] = field(default_factory=list)
+    exemplars: list[tuple[float, int]] = field(default_factory=list)
 
     def observe(self, value: float) -> None:
         self.values.append(value)
+
+    def add_exemplar(self, value: float, trace_id: int) -> None:
+        """Remember ``value`` came from ``trace_id`` (keeps the worst)."""
+        self.exemplars.append((float(value), int(trace_id)))
+        self.exemplars.sort(key=lambda pair: (-pair[0], pair[1]))
+        del self.exemplars[MAX_EXEMPLARS:]
+
+    @property
+    def top_exemplar(self) -> tuple[float, int] | None:
+        """The largest-valued exemplar, or ``None``."""
+        return self.exemplars[0] if self.exemplars else None
 
     @property
     def count(self) -> int:
@@ -127,6 +150,17 @@ class MetricsRegistry:
         if histogram is None:
             histogram = self.histograms[key] = Histogram(name, key[1])
         histogram.values.append(value)
+
+    def observe_exemplar(
+        self, name: str, value: float, trace_id: int, **labels: object
+    ) -> None:
+        """Observe ``value`` and attach ``trace_id`` as its exemplar."""
+        key = (name, _label_key(labels))
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = self.histograms[key] = Histogram(name, key[1])
+        histogram.values.append(value)
+        histogram.add_exemplar(value, trace_id)
 
     # -- queries ---------------------------------------------------------------
 
@@ -201,15 +235,16 @@ class MetricsRegistry:
             values = histogram.values
             if max_values is not None and len(values) > max_values:
                 values = values[-max_values:]
-            out.append(
-                {
-                    "name": name,
-                    "labels": labels,
-                    "values": list(values),
-                    "count": histogram.count,
-                    "sum": histogram.total,
-                }
-            )
+            entry: dict[str, object] = {
+                "name": name,
+                "labels": labels,
+                "values": list(values),
+                "count": histogram.count,
+                "sum": histogram.total,
+            }
+            if histogram.exemplars:
+                entry["exemplars"] = [list(pair) for pair in histogram.exemplars]
+            out.append(entry)
         return out
 
     # -- export ------------------------------------------------------------------

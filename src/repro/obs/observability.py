@@ -38,6 +38,7 @@ from .export import (
     write_spans_jsonl,
 )
 from .metrics import MetricsRegistry
+from .sampling import TraceSampler
 from .tracing import Tracer
 
 __all__ = ["Observability"]
@@ -50,7 +51,9 @@ class Observability:
     (see :mod:`repro.obs.ring`) — mandatory hygiene for long-running
     live services, left unbounded by default so experiment runs keep
     every span.  ``slow_span_threshold_s`` logs spans whose wall-clock
-    time reaches the threshold into ``tracer.slow_spans``.
+    time reaches the threshold into ``tracer.slow_spans``.  ``sampler``
+    (a :class:`~repro.obs.sampling.TraceSampler`) enables deterministic
+    tail-based trace sampling; ``None`` keeps every trace.
     """
 
     def __init__(
@@ -58,11 +61,19 @@ class Observability:
         clock: Callable[[], float] | None = None,
         span_capacity: int | None = None,
         slow_span_threshold_s: float | None = None,
+        sampler: TraceSampler | None = None,
     ):
         self.tracer = Tracer(
-            clock, capacity=span_capacity, slow_span_threshold_s=slow_span_threshold_s
+            clock,
+            capacity=span_capacity,
+            slow_span_threshold_s=slow_span_threshold_s,
+            sampler=sampler,
         )
         self.metrics = MetricsRegistry()
+
+    @property
+    def sampler(self) -> TraceSampler | None:
+        return self.tracer.sampler
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -1,0 +1,105 @@
+"""Deterministic, seedable tail-based trace sampling.
+
+At cluster scale the flight recorder cannot keep every span: a DS shard
+doing thousands of publications per second would evict interesting
+traces to make room for boring ones.  The :class:`TraceSampler` fixes
+which traces are *kept* the moment their root span opens:
+
+* **head decision** — a trace is kept with probability ``keep_rate``,
+  decided by hashing ``(seed, trace_id)``.  Two processes configured
+  with the same seed make the *same* decision for the same trace id, so
+  a kept trace is complete across every service that touched it — no
+  child spans missing because a downstream hop re-decided.  No wall
+  clock, no ambient entropy: the kept set for a pinned seed is
+  bit-identical across the simulator and the live TCP substrate.
+* **propagation** — the decision rides in the third element of
+  :meth:`SpanContext.to_wire` (``[trace_id, span_id, sampled]``), under
+  the existing :data:`~repro.obs.tracing.CONTEXT_HEADER`.  A downstream
+  tracer honours the propagated bit and never re-hashes, which is what
+  makes the decision stable end to end.
+* **tail promotion** — spans of a discarded trace are still created
+  (children need parents, latency accounting needs timestamps) but are
+  buffered instead of recorded.  When any span of the trace ends slow
+  (wall clock ≥ the tracer's ``slow_span_threshold_s``) or with an
+  ``error``/failed ``status`` attribute, the whole buffered trace is
+  *promoted* into the flight recorder — the "always keep slow/error
+  traces" half of tail sampling.  The buffer is bounded
+  (``pending_trace_capacity`` traces); evicted traces were unsampled
+  anyway, and the eviction count is exported so truncation is never
+  silent.
+
+Accounting (surfaced by the live telemetry plane as ``obs.sampler.*``):
+``kept_traces`` / ``dropped_traces`` count head decisions at the root,
+``promoted_traces`` counts tail promotions, ``evicted_traces`` counts
+pending-buffer evictions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["TraceSampler", "decision"]
+
+# Head decisions hash 64 bits of sha256("<seed>:<trace_id>") into [0, 1).
+_DECISION_BITS = 64
+_DECISION_SCALE = float(2**_DECISION_BITS)
+
+
+def decision(seed: int, trace_id: int, keep_rate: float) -> bool:
+    """The pure head-sampling decision: keep ``trace_id`` or not.
+
+    Exposed as a module function so tests (and offline tooling replaying
+    a scrape) can recompute the kept set without a tracer.
+    """
+    if keep_rate >= 1.0:
+        return True
+    if keep_rate <= 0.0:
+        return False
+    digest = hashlib.sha256(f"{seed}:{trace_id}".encode()).digest()
+    fraction = int.from_bytes(digest[:8], "big") / _DECISION_SCALE
+    return fraction < keep_rate
+
+
+class TraceSampler:
+    """Head-sampling policy + tail-promotion accounting for one tracer.
+
+    ``keep_rate`` is the fraction of traces kept at the head decision;
+    ``seed`` makes the decision deterministic and shared across
+    processes.  The tracer consults :meth:`keep` exactly once per locally
+    rooted trace and honours propagated decisions for remote parents.
+    """
+
+    def __init__(self, keep_rate: float = 1.0, seed: int = 0):
+        if not 0.0 <= keep_rate <= 1.0:
+            raise ValueError(f"keep_rate must be in [0, 1], got {keep_rate}")
+        self.keep_rate = keep_rate
+        self.seed = seed
+        self.kept_traces = 0
+        self.dropped_traces = 0
+        self.promoted_traces = 0
+        self.evicted_traces = 0
+
+    def keep(self, trace_id: int) -> bool:
+        """Head decision for a locally rooted trace (counted)."""
+        kept = decision(self.seed, trace_id, self.keep_rate)
+        if kept:
+            self.kept_traces += 1
+        else:
+            self.dropped_traces += 1
+        return kept
+
+    def counters(self) -> dict[str, int]:
+        """The ``obs.sampler.*`` accounting block, JSON-ready."""
+        return {
+            "kept_traces": self.kept_traces,
+            "dropped_traces": self.dropped_traces,
+            "promoted_traces": self.promoted_traces,
+            "evicted_traces": self.evicted_traces,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceSampler(keep_rate={self.keep_rate}, seed={self.seed}, "
+            f"kept={self.kept_traces}, dropped={self.dropped_traces}, "
+            f"promoted={self.promoted_traces})"
+        )

@@ -44,7 +44,9 @@ namespaces and keys stay readable for ``repro store inspect``.
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import time
 from dataclasses import dataclass
 
 from ..crypto.symmetric import SecretBox
@@ -84,6 +86,10 @@ class RecoveryInfo:
     live_records: int
     last_committed_lsn: int
     snapshots_skipped: int = 0
+    # wall-clock seconds the open-time rebuild took — the signal behind
+    # the per-shard store-recovery SLO (live only: wall time is not
+    # deterministic, so chaos replay ignores it)
+    duration_s: float = 0.0
 
     @property
     def clean(self) -> bool:
@@ -137,7 +143,10 @@ class WalEngine(StorageEngine):
         self._log_records = 0
         os.makedirs(path, exist_ok=True)
         with obs.span("store.recover", component=component, backend=self.backend):
-            self.recovery = self._recover()
+            started = time.perf_counter()
+            self.recovery = dataclasses.replace(
+                self._recover(), duration_s=time.perf_counter() - started
+            )
         self._handle = open(self._log_path, "ab")
 
     # -- paths ---------------------------------------------------------------
@@ -418,6 +427,7 @@ class WalEngine(StorageEngine):
                 "live_records": self.recovery.live_records,
                 "snapshots_skipped": self.recovery.snapshots_skipped,
                 "clean": self.recovery.clean,
+                "duration_s": self.recovery.duration_s,
             },
             "namespaces": {
                 namespace: len(entries)

@@ -1,0 +1,173 @@
+"""Chaos → SLO loop closure: injected faults must surface as burn-rate
+alerts, clean runs must stay silent, and everything must clear.
+
+The unit half feeds :func:`check_alerting` hand-built states (it is
+pure in its inputs); the integration half runs real seeded chaos runs
+with the alerting ``ci`` profile.
+"""
+
+from repro.chaos.invariants import check_alerting
+from repro.chaos.runner import run_chaos
+from repro.chaos.schedule import PROFILES, FaultSchedule
+
+
+def _report(slos: dict, alerts: list) -> dict:
+    return {"slos": slos, "alerts": alerts, "active_alerts": []}
+
+
+def _slo(good: int, bad: int) -> dict:
+    return {"good": good, "bad": bad}
+
+
+def _alert(slo: str, cleared: bool = True) -> dict:
+    return {
+        "slo": slo,
+        "severity": "page",
+        "window": "0.25s/1s",
+        "labels": {},
+        "fired_at": 0.2,
+        "cleared_at": 0.6 if cleared else None,
+    }
+
+
+def _rows(results) -> dict:
+    return {result.name: result for result in results}
+
+
+SCHEDULE = {"faults": [{"kind": "drop", "src": "pub", "dst": "ds"}]}
+
+
+class TestCheckAlerting:
+    def test_degradation_without_alert_fails_detection(self):
+        # the engine's promise: a bad event in a mapped SLO must alert
+        rows = _rows(
+            check_alerting(
+                _report({"delivery_latency": _slo(good=2, bad=1)}, alerts=[]),
+                [{"kind": "drop", "src": "pub", "dst": "ds", "fault": 0}],
+                SCHEDULE,
+            )
+        )
+        assert not rows["alerting.expected_fired"].passed
+        assert "delivery_latency" in rows["alerting.expected_fired"].detail
+
+    def test_fault_absorbed_inside_threshold_is_waived(self):
+        # a drop retried inside the latency budget leaves no bad event;
+        # requiring an alert there would make the invariant seed-lucky
+        rows = _rows(
+            check_alerting(
+                _report({"delivery_latency": _slo(good=3, bad=0)}, alerts=[]),
+                [{"kind": "drop", "src": "pub", "dst": "ds", "fault": 0}],
+                SCHEDULE,
+            )
+        )
+        assert rows["alerting.expected_fired"].passed
+
+    def test_expected_alert_firing_passes(self):
+        rows = _rows(
+            check_alerting(
+                _report(
+                    {"delivery_latency": _slo(good=2, bad=1)},
+                    alerts=[_alert("delivery_latency")],
+                ),
+                [{"kind": "partition", "src": "ds", "dst": "sub0", "fault": 0}],
+                SCHEDULE,
+            )
+        )
+        assert all(row.passed for row in rows.values())
+
+    def test_unexplained_alert_is_spurious(self):
+        rows = _rows(
+            check_alerting(
+                _report(
+                    {"delivery_latency": _slo(good=2, bad=1)},
+                    alerts=[_alert("delivery_latency")],
+                ),
+                [],  # nothing was injected
+                {"faults": []},
+            )
+        )
+        assert not rows["alerting.no_spurious"].passed
+
+    def test_duplicate_away_from_subscribers_explains_nothing(self):
+        # a duplicated DS->RS store frame is absorbed idempotently; an
+        # integrity alert cannot be pinned on it
+        rows = _rows(
+            check_alerting(
+                _report(
+                    {"delivery_integrity": _slo(good=2, bad=1)},
+                    alerts=[_alert("delivery_integrity")],
+                ),
+                [{"kind": "duplicate", "src": "ds", "dst": "rs", "fault": 0}],
+                {"faults": [{"kind": "duplicate", "src": "ds", "dst": "rs"}]},
+            )
+        )
+        assert not rows["alerting.no_spurious"].passed
+
+    def test_duplicate_to_subscriber_explains_integrity(self):
+        rows = _rows(
+            check_alerting(
+                _report(
+                    {"delivery_integrity": _slo(good=2, bad=1)},
+                    alerts=[_alert("delivery_integrity")],
+                ),
+                [{"kind": "duplicate", "src": "ds", "dst": "sub1", "fault": 0}],
+                {"faults": [{"kind": "duplicate", "src": "ds", "dst": "sub1"}]},
+            )
+        )
+        assert all(row.passed for row in rows.values())
+
+    def test_stuck_alert_fails_all_cleared(self):
+        rows = _rows(
+            check_alerting(
+                _report(
+                    {"delivery_latency": _slo(good=2, bad=1)},
+                    alerts=[_alert("delivery_latency", cleared=False)],
+                ),
+                [{"kind": "drop", "src": "pub", "dst": "ds", "fault": 0}],
+                SCHEDULE,
+            )
+        )
+        assert rows["alerting.expected_fired"].passed
+        assert not rows["alerting.all_cleared"].passed
+
+    def test_clean_report_passes_everything(self):
+        rows = _rows(check_alerting(_report({}, alerts=[]), [], {"faults": []}))
+        assert all(row.passed for row in rows.values())
+
+
+class TestChaosAlertingIntegration:
+    def test_ci_profile_enables_alerting(self):
+        assert PROFILES["ci"].alerts
+        assert not PROFILES["default"].alerts
+
+    def test_faulted_run_fires_and_clears(self):
+        # seed 36: duplicate-to-subscriber + partition — both mapped
+        # alert families fire, and every alert clears by quiescence
+        report = run_chaos(36, "ci")
+        assert report.passed, [r for r in report.invariants if not r.passed]
+        assert report.slo is not None
+        fired = {alert["slo"] for alert in report.slo["alerts"]}
+        assert fired == {"delivery_latency", "delivery_integrity"}
+        assert report.slo["active_alerts"] == []
+        families = {result.family for result in report.invariants}
+        assert "alerting" in families
+
+    def test_clean_run_fires_nothing(self):
+        schedule = FaultSchedule(seed=7, profile="ci")
+        report = run_chaos(7, "ci", schedule=schedule)
+        assert report.passed
+        assert report.slo["alerts"] == []
+        assert all(
+            entry["bad"] == 0 for entry in report.slo["slos"].values()
+        )
+
+    def test_slo_section_replays_bit_identically(self):
+        first = run_chaos(14, "ci")
+        second = run_chaos(14, "ci")
+        assert first.to_json() == second.to_json()
+        assert first.slo["alerts"], "seed 14's drop/delay faults must alert"
+
+    def test_non_alerting_profile_has_no_slo_section(self):
+        report = run_chaos(3, "smoke")
+        assert report.slo is None
+        assert "slo" not in report.to_dict()

@@ -93,11 +93,13 @@ class TestPassingProfiles:
         report = run_chaos(seed, profile)
         assert report.passed, [f.to_dict() for f in report.failures()]
 
-    def test_ci_profile_checks_all_four_families(self):
+    def test_ci_profile_checks_all_five_families(self):
         report = run_chaos(7, "ci")
         assert report.passed, [f.to_dict() for f in report.failures()]
         families = {result.family for result in report.invariants}
-        assert families == {"delivery", "privacy", "durability", "liveness"}
+        assert families == {
+            "delivery", "privacy", "durability", "liveness", "alerting"
+        }
 
     def test_unknown_profile_rejected(self):
         with pytest.raises(ValueError, match="unknown profile"):

@@ -187,3 +187,76 @@ def test_to_json_shape():
     assert document["ops"]["op.pairing"] == {"ds": 2}
     assert document["span_count"] == 2
     assert document["latency"]["count"] == 1
+    assert document["span_evictions"] == 0
+    assert document["observability"]["ds"]["dropped_spans"] == 0
+
+
+class TestSpanTableBound:
+    def test_lru_eviction_with_counter(self):
+        agg = TelemetryAggregator(span_table_capacity=4)
+        for index in range(10):
+            agg.add_spans("ds", [_span(index, index, "publish", float(index), None)])
+        assert len(agg.spans()) == 4
+        assert agg.span_evictions == 6
+        # oldest-touched evicted first: the survivors are the newest
+        assert agg.trace_ids() == [6, 7, 8, 9]
+
+    def test_re_seen_span_is_refreshed_not_evicted(self):
+        agg = TelemetryAggregator(span_table_capacity=3)
+        agg.add_spans("ds", [_span(1, 1, "publish", 0.0, 0.1)])
+        agg.add_spans("ds", [_span(2, 2, "publish", 1.0, 1.1)])
+        # trace 1 arrives again (second service's scrape): touched → MRU
+        agg.add_spans("rs", [_span(1, 1, "publish", 0.0, 0.1)])
+        agg.add_spans("ds", [_span(3, 3, "publish", 2.0, 2.1)])
+        agg.add_spans("ds", [_span(4, 4, "publish", 3.0, 3.1)])
+        assert 1 in agg.trace_ids()  # survived: it was re-touched
+        assert 2 not in agg.trace_ids()  # the actual LRU entry went
+
+    def test_unbounded_table_never_evicts(self):
+        agg = TelemetryAggregator(span_table_capacity=None)
+        for index in range(10_000):
+            agg.add_spans("ds", [_span(index, index, "publish", 0.0, 0.1)])
+        assert agg.span_evictions == 0
+        assert len(agg.spans()) == 10_000
+
+    def test_default_capacity_is_sane(self):
+        from repro.obs.aggregate import DEFAULT_SPAN_TABLE_CAPACITY
+
+        assert DEFAULT_SPAN_TABLE_CAPACITY >= 1024
+        assert TelemetryAggregator().span_table_capacity == DEFAULT_SPAN_TABLE_CAPACITY
+
+
+class TestServiceObservability:
+    def _sampler_counters(self):
+        return [
+            {"name": "obs.dropped_spans", "labels": {}, "value": 3},
+            {"name": "obs.slow_spans", "labels": {}, "value": 1},
+            {"name": "obs.sampler.keep_rate", "labels": {}, "value": 0.01},
+            {"name": "obs.sampler.kept_traces", "labels": {}, "value": 5},
+            {"name": "obs.sampler.dropped_traces", "labels": {}, "value": 495},
+            {"name": "obs.sampler.promoted_traces", "labels": {}, "value": 2},
+            {"name": "obs.sampler.evicted_traces", "labels": {}, "value": 0},
+        ]
+
+    def test_sampler_block_present_when_sampling(self):
+        agg = TelemetryAggregator()
+        agg.update_metrics("ds", _snapshot("ds", self._sampler_counters()))
+        block = agg.service_observability("ds")
+        assert block["dropped_spans"] == 3
+        assert block["slow_spans"] == 1
+        assert block["sampler"]["keep_rate"] == 0.01
+        assert block["sampler"]["dropped_traces"] == 495
+
+    def test_sampler_block_absent_without_sampler(self):
+        agg = TelemetryAggregator()
+        agg.update_metrics(
+            "rs", _snapshot("rs", [{"name": "obs.dropped_spans", "labels": {}, "value": 0}])
+        )
+        assert "sampler" not in agg.service_observability("rs")
+
+    def test_to_json_carries_per_service_observability(self):
+        agg = TelemetryAggregator()
+        agg.update_health("ds", _health("ds"))
+        agg.update_metrics("ds", _snapshot("ds", self._sampler_counters()))
+        document = agg.to_json()
+        assert document["observability"]["ds"]["sampler"]["kept_traces"] == 5

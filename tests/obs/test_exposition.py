@@ -86,6 +86,51 @@ def test_empty_registry_is_just_eof():
     assert parse_openmetrics("# EOF\n").samples == {}
 
 
+class TestByteIdenticalRoundTrip:
+    """render(parse(text)) == text — the parser keeps enough structure
+    (sample order, TYPE placement, exemplars) to re-emit its input."""
+
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.inc("op.pairing", 120, component="ds")
+        registry.inc("op.fractional", 2.5)
+        registry.observe("op.match.wall_s", 0.25, component="sub")
+        registry.observe("op.match.wall_s", 4.0, component="sub")
+        return registry
+
+    def test_plain_series_round_trip_bytes(self):
+        text = to_openmetrics(self._registry())
+        assert parse_openmetrics(text).render() == text
+
+    def test_exemplar_round_trip_bytes(self):
+        registry = self._registry()
+        registry.observe_exemplar("slo.latency_s", 4.0, 88, slo="delivery_latency")
+        text = to_openmetrics(registry)
+        assert '# {trace_id="88"} 4' in text
+        parsed = parse_openmetrics(text)
+        assert parsed.render() == text
+        key = next(iter(parsed.exemplars))
+        labels, value = parsed.exemplars[key]
+        assert dict(labels) == {"trace_id": "88"}
+        assert value == 4.0
+
+    def test_hostile_labels_round_trip_bytes(self):
+        registry = self._registry()
+        registry.inc("op.weird", 1, component='we"ird\\x', note="line\nbreak")
+        text = to_openmetrics(registry)
+        parsed = parse_openmetrics(text)
+        assert parsed.render() == text
+        assert parsed.value("p3s_op_weird_total", component='we"ird\\x', note="line\nbreak") == 1
+
+    def test_integer_valued_floats_render_without_decimal(self):
+        # 120.0 must render "120" both times or the round trip drifts
+        registry = MetricsRegistry()
+        registry.inc("op.pairing", 120.0)
+        text = to_openmetrics(registry)
+        assert "p3s_op_pairing_total 120\n" in text
+        assert parse_openmetrics(text).render() == text
+
+
 class TestParserStrictness:
     def test_missing_eof_rejected(self):
         with pytest.raises(ValueError, match="EOF"):

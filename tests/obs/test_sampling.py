@@ -1,0 +1,154 @@
+"""Tail-based trace sampling: head decisions, propagation, promotion."""
+
+import pytest
+
+from repro.obs.sampling import TraceSampler, decision
+from repro.obs.tracing import SpanContext, Tracer
+
+SEED = 42
+KEEP_RATE = 0.25
+TRACES = 400
+
+
+class TestDecision:
+    def test_deterministic(self):
+        first = [decision(SEED, tid, KEEP_RATE) for tid in range(TRACES)]
+        second = [decision(SEED, tid, KEEP_RATE) for tid in range(TRACES)]
+        assert first == second
+
+    def test_seed_changes_the_kept_set(self):
+        kept_a = {tid for tid in range(TRACES) if decision(1, tid, KEEP_RATE)}
+        kept_b = {tid for tid in range(TRACES) if decision(2, tid, KEEP_RATE)}
+        assert kept_a != kept_b
+
+    def test_keep_rate_bounds(self):
+        assert all(decision(SEED, tid, 1.0) for tid in range(TRACES))
+        assert not any(decision(SEED, tid, 0.0) for tid in range(TRACES))
+
+    def test_keep_fraction_tracks_rate(self):
+        kept = sum(decision(SEED, tid, KEEP_RATE) for tid in range(4000))
+        assert 0.15 < kept / 4000 < 0.35
+
+    def test_rate_is_monotone_per_trace(self):
+        # a trace kept at rate r is kept at every rate above r
+        for tid in range(100):
+            if decision(SEED, tid, 0.1):
+                assert decision(SEED, tid, 0.5)
+
+
+class TestSampler:
+    def test_counters(self):
+        sampler = TraceSampler(keep_rate=KEEP_RATE, seed=SEED)
+        kept = sum(sampler.keep(tid) for tid in range(TRACES))
+        assert sampler.kept_traces == kept
+        assert sampler.dropped_traces == TRACES - kept
+        block = sampler.counters()
+        assert block["kept_traces"] == kept
+        assert block["promoted_traces"] == 0
+
+    def test_keep_rate_validated(self):
+        with pytest.raises(ValueError):
+            TraceSampler(keep_rate=1.5)
+
+
+class TestTracerIntegration:
+    def _tracer(self, **kwargs):
+        return Tracer(sampler=TraceSampler(keep_rate=KEEP_RATE, seed=SEED), **kwargs)
+
+    def test_unsampled_roots_are_buffered_not_recorded(self):
+        tracer = self._tracer()
+        for _ in range(50):
+            tracer.end_span(tracer.start_span("publish", "pub"))
+        recorded = {span.trace_id for span in tracer.spans}
+        expected = {
+            tid for tid in range(1, 51) if decision(SEED, tid, KEEP_RATE)
+        }
+        assert recorded == expected
+
+    def test_children_follow_the_head_decision(self):
+        tracer = self._tracer()
+        for _ in range(50):
+            root = tracer.start_span("publish", "pub")
+            child = tracer.start_span("ds.fan_out", "ds", parent=root)
+            tracer.end_span(child)
+            tracer.end_span(root)
+        for span in tracer.spans:
+            assert decision(SEED, span.trace_id, KEEP_RATE)
+        # kept traces are complete: both spans present
+        by_trace = {}
+        for span in tracer.spans:
+            by_trace.setdefault(span.trace_id, set()).add(span.name)
+        assert all(names == {"publish", "ds.fan_out"} for names in by_trace.values())
+
+    def test_error_span_promotes_the_whole_trace(self):
+        tracer = Tracer(sampler=TraceSampler(keep_rate=0.0, seed=SEED))
+        root = tracer.start_span("publish", "pub")
+        child = tracer.start_span("ds.fan_out", "ds", parent=root)
+        assert len(tracer.spans) == 0  # nothing sampled
+        tracer.end_span(child, error="boom")
+        assert {span.name for span in tracer.spans} == {"publish", "ds.fan_out"}
+        tracer.end_span(root)
+        assert tracer.sampler.promoted_traces == 1
+
+    def test_status_attribute_promotes(self):
+        tracer = Tracer(sampler=TraceSampler(keep_rate=0.0, seed=SEED))
+        span = tracer.start_span("retrieve", "sub")
+        tracer.end_span(span, status="exhausted")
+        assert [s.name for s in tracer.spans] == ["retrieve"]
+
+    def test_slow_span_promotes(self):
+        tracer = Tracer(
+            sampler=TraceSampler(keep_rate=0.0, seed=SEED),
+            slow_span_threshold_s=0.0,  # every finished span counts as slow
+        )
+        span = tracer.start_span("match", "sub")
+        tracer.end_span(span)
+        assert [s.name for s in tracer.spans] == ["match"]
+        assert tracer.sampler.promoted_traces == 1
+
+    def test_later_spans_of_a_promoted_trace_record_directly(self):
+        tracer = Tracer(sampler=TraceSampler(keep_rate=0.0, seed=SEED))
+        root = tracer.start_span("publish", "pub")
+        tracer.end_span(root, error="boom")
+        late = tracer.start_span("retry", "pub", parent=root)
+        tracer.end_span(late)
+        assert {s.name for s in tracer.spans} == {"publish", "retry"}
+        assert tracer.sampler.promoted_traces == 1  # promoted once
+
+    def test_pending_buffer_bounded_with_eviction_counter(self):
+        tracer = Tracer(
+            sampler=TraceSampler(keep_rate=0.0, seed=SEED),
+            pending_trace_capacity=8,
+        )
+        for _ in range(20):
+            tracer.end_span(tracer.start_span("publish", "pub"))
+        assert len(tracer._pending) == 8
+        assert tracer.sampler.evicted_traces == 12
+        assert len(tracer.spans) == 0
+
+    def test_decision_stable_across_wire_propagation(self):
+        """The acceptance property: for a pinned seed the kept trace-id
+        set is identical on both sides of the wire — the downstream
+        tracer honours the propagated bit and never re-decides."""
+        upstream = self._tracer()
+        downstream = self._tracer()
+        for _ in range(100):
+            root = upstream.start_span("publish", "pub")
+            headers = Tracer.inject({}, root)
+            wire = headers["obs-ctx"].to_wire()  # live substrate JSON form
+            context = SpanContext.from_wire(wire)
+            remote = downstream.start_span("ds.fan_out", "ds", parent=context)
+            downstream.end_span(remote)
+            upstream.end_span(root)
+        kept_upstream = {span.trace_id for span in upstream.spans}
+        kept_downstream = {span.trace_id for span in downstream.spans}
+        assert kept_upstream == kept_downstream
+        assert kept_upstream == {
+            tid for tid in range(1, 101) if decision(SEED, tid, KEEP_RATE)
+        }
+
+    def test_legacy_two_element_wire_form_reads_as_sampled(self):
+        context = SpanContext.from_wire([7, 9])
+        assert context == SpanContext(7, 9, sampled=True)
+        assert SpanContext.from_wire([7, 9, 0]).sampled is False
+        assert SpanContext.from_wire("garbage") is None
