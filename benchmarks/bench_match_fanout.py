@@ -17,17 +17,18 @@ from worker-side precomputation caches; on multicore it compounds with
 real parallelism.
 
 ``P3S_WRITE_BENCH=1`` additionally writes the measured numbers to
-``BENCH_pr2.json`` at the repo root (the committed before/after record).
+``BENCH_pr2.json`` at the repo root (the committed before/after record),
+in the versioned schema of ``benchmarks/schema.py`` — the form
+``repro perf gate`` ingests directly.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import pathlib
 import time
 
 import pytest
+
+from schema import BenchRecord
 
 from repro.crypto.curve import clear_fixed_base_cache, set_fixed_base_enabled
 from repro.crypto.group import PairingGroup
@@ -131,7 +132,7 @@ def _fixed_base_micro(group) -> dict:
     }
 
 
-def test_match_fanout_speedups(workload, capsys):
+def test_match_fanout_speedups(workload, capsys, bench_writer):
     group, ciphertexts, tokens = workload
 
     naive_s, naive_results = _naive_serial(group, ciphertexts, tokens)
@@ -157,31 +158,33 @@ def test_match_fanout_speedups(workload, capsys):
             f"over {micro['scalar_muls']} muls"
         )
 
-    if os.environ.get("P3S_WRITE_BENCH"):
-        target = pathlib.Path(__file__).resolve().parents[1] / "BENCH_pr2.json"
-        target.write_text(
-            json.dumps(
-                {
-                    "workload": {
-                        "vector_bits": VECTOR_BITS,
-                        "tokens": TOKENS,
-                        "publications": PUBLICATIONS,
-                        "constrained_positions": CONSTRAINED,
-                        "param_set": "TOY",
-                    },
-                    "match_fanout": {
-                        "naive_serial_s": naive_s,
-                        "precomputed_serial_s": pre_s,
-                        "pool4_s": pool_s,
-                        "precompute_speedup": serial_speedup,
-                        "pool4_speedup": pool_speedup,
-                    },
-                    "fixed_base_micro": micro,
-                },
-                indent=2,
-            )
-            + "\n"
-        )
+    # Record names match what the legacy BENCH_pr2.json normalizer emits,
+    # so a re-run supersedes the committed history entry-for-entry.
+    bench_writer(
+        "BENCH_pr2.json",
+        suite="match_fanout",
+        workload={
+            "vector_bits": VECTOR_BITS,
+            "tokens": TOKENS,
+            "publications": PUBLICATIONS,
+            "constrained_positions": CONSTRAINED,
+            "param_set": "TOY",
+        },
+        records=[
+            BenchRecord(
+                "match_fanout.precompute_speedup", serial_speedup, "ratio", floor=1.3
+            ),
+            BenchRecord("match_fanout.pool4_speedup", pool_speedup, "ratio", floor=2.0),
+            BenchRecord(
+                "match_fanout.fixed_base_speedup", micro["speedup"], "ratio", floor=1.5
+            ),
+            BenchRecord("match_fanout.naive_serial_s", naive_s, "seconds", direction="lower"),
+            BenchRecord(
+                "match_fanout.precomputed_serial_s", pre_s, "seconds", direction="lower"
+            ),
+            BenchRecord("match_fanout.pool4_s", pool_s, "seconds", direction="lower"),
+        ],
+    )
 
     # acceptance floors (ISSUE.md PR 2)
     assert serial_speedup >= 1.3, f"precompute speedup {serial_speedup:.2f}× < 1.3×"

@@ -20,16 +20,17 @@ The modes run interleaved (off/always/sampled, repeated) so CPU
 frequency drift hits all three equally; best-of-``REPEATS`` is scored.
 
 Run with ``-s`` for the table; ``P3S_WRITE_BENCH=1`` writes
-``BENCH_pr9.json`` at the repo root (the committed record).
+``BENCH_pr9.json`` at the repo root (the committed record, in the
+versioned schema of ``benchmarks/schema.py``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
-import pathlib
 import time
+
+from schema import BenchRecord
 
 from repro.obs.aggregate import TelemetryAggregator
 from repro.obs.sampling import TraceSampler, decision
@@ -95,7 +96,7 @@ def _run_once(mode: str) -> dict:
     }
 
 
-def test_bench_obs_overhead():
+def test_bench_obs_overhead(bench_writer):
     modes = ("off", "always", "sampled")
     best: dict[str, dict] = {}
     for _ in range(REPEATS):
@@ -137,34 +138,51 @@ def test_bench_obs_overhead():
     # 3) sampling pays for itself: 1%-keep recovers ≥90% of tracing-off
     assert recovery["sampled"] >= RECOVERY_FLOOR, recovery
 
-    if os.environ.get("P3S_WRITE_BENCH"):
-        target = pathlib.Path(__file__).resolve().parents[1] / "BENCH_pr9.json"
-        target.write_text(
-            json.dumps(
-                {
-                    "workload": {
-                        "messages": MESSAGES,
-                        "spans_per_message": 3,
-                        "payload_bytes": len(PAYLOAD),
-                        "hash_rounds": HASH_ROUNDS,
-                        "drain_every": DRAIN_EVERY,
-                        "repeats": REPEATS,
-                        "keep_rate": KEEP_RATE,
-                        "seed": SEED,
-                    },
-                    "modes": {
-                        mode: {
-                            "messages_per_s": best[mode]["messages_per_s"],
-                            "recovery_vs_off": recovery[mode],
-                            "exported_spans": best[mode]["exported_spans"],
-                            "exported_bytes": best[mode]["exported_bytes"],
-                        }
-                        for mode in modes
-                    },
-                    "kept_trace_ids": sampled["kept_traces"],
-                },
-                indent=2,
-            )
-            + "\n"
-        )
-        print(f"wrote {target}")
+    # Record names match the legacy BENCH_pr9.json normalizer, so a
+    # re-run supersedes the committed history entry-for-entry.
+    written = bench_writer(
+        "BENCH_pr9.json",
+        suite="obs_overhead",
+        seed=SEED,
+        workload={
+            "messages": MESSAGES,
+            "spans_per_message": 3,
+            "payload_bytes": len(PAYLOAD),
+            "hash_rounds": HASH_ROUNDS,
+            "drain_every": DRAIN_EVERY,
+            "repeats": REPEATS,
+            "keep_rate": KEEP_RATE,
+            "seed": SEED,
+        },
+        records=[
+            BenchRecord(
+                "obs_overhead.always_recovery",
+                recovery["always"],
+                "fraction",
+                floor=0.5,
+                seed=SEED,
+            ),
+            BenchRecord(
+                "obs_overhead.sampled_recovery",
+                recovery["sampled"],
+                "fraction",
+                floor=RECOVERY_FLOOR,
+                seed=SEED,
+            ),
+            BenchRecord("obs_overhead.off_messages_per_s", off["messages_per_s"], "ops/s"),
+            BenchRecord(
+                "obs_overhead.always_exported_spans",
+                always["exported_spans"],
+                "count",
+                direction="lower",
+            ),
+            BenchRecord(
+                "obs_overhead.sampled_exported_spans",
+                sampled["exported_spans"],
+                "count",
+                direction="lower",
+            ),
+        ],
+    )
+    if written is not None:
+        print(f"wrote {written}")

@@ -1,0 +1,160 @@
+"""PR-10 profiler tax: what does continuous profiling cost on the demo
+pipeline?
+
+The seeded demo workload (``repro.obs.prof.workload``) runs the full
+publish → match → deliver pipeline under three profiling modes:
+
+* **off** — observability installed, no profiler attached;
+* **det** — :class:`DeterministicSampler` (op-count sampling, the
+  simulator mode) at ``every=8``;
+* **wall** — :class:`StackSampler` at the live-plane default 19 Hz.
+
+Modes run interleaved (off/det/wall, repeated) so CPU frequency drift
+hits all three equally; best-of-``REPEATS`` is scored.  The claims:
+
+1. deterministic sampling recovers ≥95% of profiler-off throughput (the
+   ISSUE's "within 5%" bound — op counting is just an integer divide per
+   instrumented op);
+2. the wall sampler at 19 Hz recovers ≥80% (it burns a whole extra
+   thread's worth of ``sys._current_frames()`` walks, but at 19 Hz that
+   is a few hundred stack walks over the whole run);
+3. deterministic mode replays byte-identically for the pinned seed.
+
+``P3S_WRITE_BENCH=1`` writes ``BENCH_pr10.json`` at the repo root in
+the versioned schema — the committed baseline ``repro perf gate``'s
+``prof`` probe compares against.
+"""
+
+from __future__ import annotations
+
+import time
+
+from schema import BenchRecord
+
+from repro.obs.observability import Observability
+from repro.obs.prof.sampler import DeterministicSampler, StackSampler
+from repro.obs.prof.workload import run_demo_workload
+
+PUBLICATIONS = 30
+SEED = 7
+EVERY = 8
+WALL_HZ = 19.0
+REPEATS = 3
+DET_RECOVERY_FLOOR = 0.95  # ISSUE: deterministic profiling within 5% of off
+WALL_RECOVERY_FLOOR = 0.80
+
+
+def _make_profiler(mode: str, obs: Observability):
+    if mode == "det":
+        return DeterministicSampler(every=EVERY, seed=SEED, obs=obs)
+    if mode == "wall":
+        return StackSampler(hz=WALL_HZ, obs=obs)
+    return None
+
+
+def _run_once(mode: str) -> dict:
+    obs = Observability()
+    profiler = _make_profiler(mode, obs)
+    if profiler is not None:
+        obs.profiler = profiler
+        profiler.start()
+    start = time.perf_counter()
+    stats = run_demo_workload(PUBLICATIONS, seed=SEED, obs=obs)
+    elapsed = time.perf_counter() - start
+    if profiler is not None:
+        profiler.stop()
+    return {
+        "seconds": elapsed,
+        "publications_per_s": PUBLICATIONS / elapsed,
+        "delivered": stats["delivered"],
+        "profile": None if profiler is None else profiler.profile(),
+    }
+
+
+def test_bench_prof_overhead(bench_writer):
+    modes = ("off", "det", "wall")
+    best: dict[str, dict] = {}
+    for _ in range(REPEATS):
+        for mode in modes:  # interleaved: frequency drift hits all modes
+            result = _run_once(mode)
+            if mode not in best or result["seconds"] < best[mode]["seconds"]:
+                best[mode] = result
+
+    off, det, wall = (best[mode] for mode in modes)
+    recovery = {
+        mode: best[mode]["publications_per_s"] / off["publications_per_s"]
+        for mode in modes
+    }
+
+    print()
+    print(
+        f"profiler overhead ({PUBLICATIONS} publications, seed {SEED}, "
+        f"best of {REPEATS}):"
+    )
+    for mode in modes:
+        row = best[mode]
+        profile = row["profile"]
+        stacks = 0 if profile is None else profile.sample_count
+        print(
+            f"  {mode:5s} {row['publications_per_s']:8.1f} pub/s "
+            f"({recovery[mode] * 100:5.1f}% of off)  {stacks:4d} distinct stacks"
+        )
+
+    # every mode delivered the same workload
+    assert det["delivered"] == off["delivered"] == wall["delivered"]
+    # the profiles actually saw the pipeline
+    assert det["profile"].sample_count > 0
+    assert any(
+        stack and stack[0] not in ("unattributed",)
+        for stack in det["profile"].samples
+    ), "deterministic profile carries no component attribution"
+    # deterministic mode replays byte-identically for the pinned seed
+    replay = _run_once("det")
+    assert replay["profile"].folded() == det["profile"].folded()
+    # the tax claims
+    assert recovery["det"] >= DET_RECOVERY_FLOOR, recovery
+    assert recovery["wall"] >= WALL_RECOVERY_FLOOR, recovery
+
+    written = bench_writer(
+        "BENCH_pr10.json",
+        suite="prof_overhead",
+        seed=SEED,
+        workload={
+            "publications": PUBLICATIONS,
+            "seed": SEED,
+            "every": EVERY,
+            "wall_hz": WALL_HZ,
+            "repeats": REPEATS,
+        },
+        records=[
+            # committed floors are looser than the in-bench asserts: the
+            # gate's fresh probe re-measures on smaller workloads where
+            # timing noise is proportionally larger
+            BenchRecord(
+                "prof.det_recovery",
+                min(1.0, recovery["det"]),
+                "fraction",
+                floor=0.90,
+                seed=SEED,
+            ),
+            BenchRecord(
+                "prof.wall_recovery",
+                min(1.0, recovery["wall"]),
+                "fraction",
+                floor=0.70,
+                seed=SEED,
+            ),
+            BenchRecord(
+                "prof.det_distinct_stacks",
+                det["profile"].sample_count,
+                "count",
+            ),
+            BenchRecord(
+                "prof.off_publications_per_s",
+                off["publications_per_s"],
+                "ops/s",
+            ),
+        ],
+    )
+    if written is not None:
+        print(f"wrote {written}")

@@ -18,6 +18,19 @@ import pytest
 
 from repro.perf.calibrate import calibrate
 
+from schema import write_repo_bench
+
+
+@pytest.fixture()
+def bench_writer():
+    """The shared v1-schema bench writer (see benchmarks/schema.py).
+
+    Benches call ``bench_writer(filename, suite, records, workload=...,
+    seed=...)``; nothing is written unless ``P3S_WRITE_BENCH=1``, and
+    anything written is the versioned record `repro perf gate` ingests.
+    """
+    return write_repo_bench
+
 
 def param_set_name() -> str:
     return os.environ.get("REPRO_BENCH_PARAMS", "TOY")

@@ -1,0 +1,47 @@
+"""Benchmark-side view of the versioned record schema.
+
+``benchmarks/`` is not a package (pytest puts this directory on
+``sys.path``), so bench modules ``import schema`` to reach the shared
+writer without touching ``PYTHONPATH`` gymnastics.  Everything here
+re-exports :mod:`repro.perf.bench` — the single point of truth for the
+record format — plus :func:`write_repo_bench`, the standard "write
+``BENCH_<name>.json`` at the repo root when ``P3S_WRITE_BENCH=1``"
+behaviour every bench shares.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.perf.bench import (  # noqa: F401  (re-exports for bench modules)
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    bench_document,
+    environment_fingerprint,
+    git_rev,
+    load_bench_file,
+    load_history,
+    write_bench,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def write_repo_bench(
+    filename: str,
+    suite: str,
+    records: list[BenchRecord],
+    workload: dict | None = None,
+    seed: int | None = None,
+) -> pathlib.Path | None:
+    """Write ``BENCH_<x>.json`` at the repo root iff ``P3S_WRITE_BENCH=1``.
+
+    Returns the written path, or ``None`` when the committed record is
+    left untouched (the default for ordinary bench runs).
+    """
+    if not os.environ.get("P3S_WRITE_BENCH"):
+        return None
+    target = REPO_ROOT / filename
+    write_bench(str(target), suite, records, workload=workload, seed=seed)
+    return target

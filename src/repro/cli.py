@@ -26,6 +26,12 @@
     python -m repro slo report --chaos-seed 7 --json  # SLO/alert report for a chaos run
     python -m repro slo report --state p3s.state      # judge a live deployment's SLOs
     python -m repro slo watch                         # refreshing burn-rate/alert view
+    python -m repro prof record --out demo.prof.json  # span-attributed demo profile
+    python -m repro prof report demo.prof.json        # hot-frames report
+    python -m repro prof diff before.prof.json after.prof.json  # self-time deltas
+    python -m repro prof top --state p3s.state        # merged live-service hot frames
+    python -m repro perf gate                         # perf-regression gate
+    python -m repro perf gate --smoke                 # history floor checks only
 """
 
 from __future__ import annotations
@@ -256,6 +262,135 @@ def _cmd_store_inspect(args) -> None:
         print(format_inspection(report))
 
 
+def _write_profile(profile, out: str, force: bool) -> None:
+    """Write a profile as speedscope JSON (or ``.folded`` text by suffix).
+
+    Refuses to clobber an existing recording unless ``--force`` — a
+    before/after diff workflow lives or dies on not losing the "before".
+    """
+    import json
+    import os
+
+    if os.path.exists(out) and not force:
+        raise SystemExit(f"refusing to overwrite {out} (pass --force)")
+    if out.endswith(".folded"):
+        with open(out, "w") as handle:
+            handle.write(profile.folded())
+        return
+    with open(out, "w") as handle:
+        json.dump(profile.to_speedscope(name=os.path.basename(out)), handle, indent=2)
+        handle.write("\n")
+
+
+def _cmd_prof_record(args) -> None:
+    from .obs.prof import format_report, record_demo
+
+    profile, stats = record_demo(
+        publications=args.publications,
+        seed=args.seed,
+        mode=args.mode,
+        every=args.every,
+        hz=args.hz,
+    )
+    if args.out:
+        _write_profile(profile, args.out, args.force)
+        print(
+            f"recorded {args.mode} profile of {stats['publications']} publications "
+            f"(seed {stats['seed']}, {stats['delivered']} delivered) -> {args.out}"
+        )
+    print(format_report(profile, limit=args.limit))
+
+
+def _cmd_prof_report(args) -> None:
+    from .obs.prof import format_report, load_profile
+
+    print(format_report(load_profile(args.profile), limit=args.limit))
+
+
+def _cmd_prof_diff(args) -> None:
+    from .obs.prof import diff_profiles, format_diff, load_profile
+
+    before = load_profile(args.before)
+    after = load_profile(args.after)
+    deltas = diff_profiles(before, after, normalize=not args.absolute)
+    print(format_diff(deltas, limit=args.limit, normalized=not args.absolute))
+
+
+def _cmd_prof_ledger(args) -> None:
+    from .obs.observability import Observability
+    from .obs.prof import cost_ledger, format_ledger
+    from .obs.prof.workload import run_demo_workload
+
+    obs = Observability()
+    stats = run_demo_workload(args.publications, seed=args.seed, obs=obs)
+    calibration = calibrate(
+        args.params, vector_bits=8, policy_attributes=4, repetitions=1
+    )
+    rows = cost_ledger(obs.metrics, calibration)
+    print(
+        f"demo workload: {stats['publications']} publications (seed "
+        f"{stats['seed']}), {stats['delivered']} delivered; calibration "
+        f"{args.params}"
+    )
+    print(format_ledger(rows))
+
+
+async def _prof_top(args) -> None:
+    from .obs.aggregate import TelemetryAggregator
+    from .obs.prof import format_report
+
+    client, services, close = await _open_telemetry_session(args, "prof")
+    aggregator = TelemetryAggregator()
+    try:
+        if not args.state:
+            import asyncio
+
+            # in-process deployment: let the background publisher give the
+            # samplers something to see before the one-shot scrape
+            await asyncio.sleep(args.warmup)
+        await client.scrape(aggregator)
+    finally:
+        await close()
+    origins = aggregator.profile_origins()
+    if not origins:
+        raise SystemExit(
+            "no profiles scraped — are the services running with P3S_PROFILE=off?"
+        )
+    merged = aggregator.merged_profile()
+    print(
+        "profiles from: "
+        + ", ".join(
+            f"{origin} ({'+'.join(sorted(names))})" for origin, names in sorted(origins.items())
+        )
+    )
+    print(format_report(merged, limit=args.limit))
+    if args.out:
+        _write_profile(merged, args.out, args.force)
+        print(f"merged profile -> {args.out}")
+
+
+def _cmd_prof_top(args) -> None:
+    import asyncio
+
+    try:
+        asyncio.run(_prof_top(args))
+    except KeyboardInterrupt:
+        pass
+
+
+def _cmd_perf_gate(args) -> None:
+    from .perf.gate import format_gate, run_gate
+
+    report = run_gate(
+        root=args.root,
+        smoke=args.smoke,
+        only=args.only or None,
+    )
+    print(format_gate(report))
+    if not report.passed:
+        raise SystemExit(1)
+
+
 def _make_serve_cmd(role: str):
     def _cmd(args) -> None:
         import asyncio
@@ -433,6 +568,7 @@ async def _open_telemetry_session(args, purpose: str):
     """
     import asyncio
     import contextlib
+    import os
 
     from .live.telemetry import TelemetryClient
 
@@ -455,6 +591,18 @@ async def _open_telemetry_session(args, purpose: str):
     from .pbe.schema import Interest
 
     obs = Observability(span_capacity=DEFAULT_FLIGHT_RECORDER_CAPACITY)
+    profiler = None
+    if os.environ.get("P3S_PROFILE", "wall") != "off":
+        # same default-on profiling as serve_role, so the in-process view
+        # has hot frames to show
+        from .obs.prof import StackSampler
+
+        profiler = obs.profiler = StackSampler(
+            hz=float(os.environ.get("P3S_PROFILE_HZ", "19")),
+            obs=obs,
+            origin="inproc-wall",
+        )
+        profiler.start()
     deployment = LiveDeployment(P3SConfig(obs=obs))
     await deployment.start()
     subscriber = await deployment.add_subscriber("alice", {"org:acme"})
@@ -483,6 +631,8 @@ async def _open_telemetry_session(args, purpose: str):
             await driver
         await client.close()
         await deployment.close()
+        if profiler is not None:
+            profiler.stop()
         if deployment.obs is not None:
             deployment.obs.uninstall()
 
@@ -559,6 +709,14 @@ async def _live_top(args) -> None:
                 f"spans: {len(aggregator.spans())} aggregated, "
                 f"{aggregator.total_dropped_spans} dropped"
             )
+            hot = aggregator.hot_frames(limit=args.hot_frames)
+            if hot:
+                print(
+                    "hot frames: "
+                    + ", ".join(
+                        f"{frame} {fraction:.0%}" for frame, _self, fraction in hot
+                    )
+                )
             if active:
                 print("SLO alerts: " + ", ".join(
                     f"{alert.slo}[{alert.severity} {alert.window}]"
@@ -1051,6 +1209,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-clear", action="store_true",
         help="append sweeps instead of clearing the screen (for logs/CI)",
     )
+    live_top.add_argument(
+        "--hot-frames", type=int, default=5, metavar="N",
+        help="profiler hot frames shown per sweep (0 disables the panel)",
+    )
     live_top.set_defaults(func=_cmd_live_top)
 
     cluster = sub.add_parser(
@@ -1190,6 +1352,121 @@ def build_parser() -> argparse.ArgumentParser:
     store_inspect.add_argument("path", help="WAL store directory or sqlite database file")
     store_inspect.add_argument("--json", action="store_true", help="emit JSON")
     store_inspect.set_defaults(func=_cmd_store_inspect)
+
+    prof = sub.add_parser(
+        "prof", help="continuous profiling (see docs/OBSERVABILITY.md)"
+    )
+    prof_sub = prof.add_subparsers(dest="prof_command", required=True)
+
+    prof_record = prof_sub.add_parser(
+        "record",
+        help="profile the seeded demo workload and write a speedscope "
+             "(or .folded) recording",
+    )
+    prof_record.add_argument(
+        "--mode", choices=("det", "wall"), default="det",
+        help="det: deterministic op-count sampling (seed-replayable); "
+             "wall: background stack sampler (default: det)",
+    )
+    prof_record.add_argument("--publications", type=int, default=50, metavar="N")
+    prof_record.add_argument("--seed", type=int, default=0)
+    prof_record.add_argument(
+        "--every", type=int, default=8, metavar="OPS",
+        help="det mode: one sample per OPS instrumented crypto ops",
+    )
+    prof_record.add_argument(
+        "--hz", type=float, default=97.0,
+        help="wall mode: sampling frequency",
+    )
+    prof_record.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the recording (speedscope JSON, or collapsed-stack "
+             "text when FILE ends in .folded)",
+    )
+    prof_record.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing --out file",
+    )
+    prof_record.add_argument("--limit", type=int, default=15, metavar="N")
+    prof_record.set_defaults(func=_cmd_prof_record)
+
+    prof_report = prof_sub.add_parser(
+        "report", help="hot-frames report of a recorded profile"
+    )
+    prof_report.add_argument("profile", help="speedscope JSON or .folded recording")
+    prof_report.add_argument("--limit", type=int, default=20, metavar="N")
+    prof_report.set_defaults(func=_cmd_prof_report)
+
+    prof_diff = prof_sub.add_parser(
+        "diff", help="rank self-time deltas between two recordings"
+    )
+    prof_diff.add_argument("before", help="baseline recording")
+    prof_diff.add_argument("after", help="candidate recording")
+    prof_diff.add_argument(
+        "--absolute", action="store_true",
+        help="raw weight deltas instead of per-profile-normalized shares",
+    )
+    prof_diff.add_argument("--limit", type=int, default=20, metavar="N")
+    prof_diff.set_defaults(func=_cmd_prof_diff)
+
+    prof_ledger = prof_sub.add_parser(
+        "ledger",
+        help="crypto cost ledger: modeled (count x calibrated cost) vs "
+             "measured self time per component",
+    )
+    prof_ledger.add_argument("--publications", type=int, default=20, metavar="N")
+    prof_ledger.add_argument("--seed", type=int, default=0)
+    prof_ledger.add_argument(
+        "-p", "--params", default="TOY",
+        help="calibration parameter set (default: TOY)",
+    )
+    prof_ledger.set_defaults(func=_cmd_prof_ledger)
+
+    prof_top = prof_sub.add_parser(
+        "top",
+        help="scrape live services' profiles (KIND_PROFILE), merge, and "
+             "report hot frames",
+    )
+    prof_top.add_argument(
+        "--state", metavar="FILE", default=None,
+        help="scrape a running multi-process deployment; omit for a "
+             "self-driving in-process deployment",
+    )
+    prof_top.add_argument(
+        "--warmup", type=float, default=1.5, metavar="SECONDS",
+        help="in-process mode: traffic time before the scrape",
+    )
+    prof_top.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also write the merged profile (speedscope JSON / .folded)",
+    )
+    prof_top.add_argument("--force", action="store_true", help="overwrite --out")
+    prof_top.add_argument("--limit", type=int, default=20, metavar="N")
+    prof_top.set_defaults(func=_cmd_prof_top)
+
+    perf = sub.add_parser(
+        "perf", help="performance trajectory tools (see docs/PERFORMANCE.md)"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_gate = perf_sub.add_parser(
+        "gate",
+        help="judge the committed BENCH_*.json history (smoke) and "
+             "re-measure machine-independent ratios against it (fresh); "
+             "non-zero exit on regression",
+    )
+    perf_gate.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="directory holding the BENCH_*.json history (default: .)",
+    )
+    perf_gate.add_argument(
+        "--smoke", action="store_true",
+        help="history floor/ceiling checks only — no fresh measurements",
+    )
+    perf_gate.add_argument(
+        "--only", action="append", metavar="PROBE",
+        help="run only the named fresh probe(s): match, obs, prof",
+    )
+    perf_gate.set_defaults(func=_cmd_perf_gate)
     return parser
 
 

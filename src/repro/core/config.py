@@ -90,6 +90,10 @@ class P3SConfig:
     # (installed process-wide on system construction), or None: every
     # instrumentation hook stays a no-op
     obs: object | None = None
+    # a repro.obs.prof sampler (StackSampler or DeterministicSampler) to
+    # attach to ``obs`` on system construction — started with the
+    # system, stopped by close().  Requires ``obs``; None: no profiling.
+    profiler: object | None = None
     # -- delegated matching (DS-side pre-filtering; see repro.core.ds) --
     # When True, subscribers register their PBE tokens with the DS, which
     # matches publications against them (via a repro.par.MatchPool) and

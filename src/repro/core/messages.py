@@ -33,6 +33,7 @@ RPC_ANON_FORWARD = "p3s.anon-forward"
 KIND_HEALTH = "p3s.telemetry-health"
 KIND_METRICS = "p3s.telemetry-metrics"
 KIND_SPANS = "p3s.telemetry-spans"
+KIND_PROFILE = "p3s.telemetry-profile"
 
 __all__ = [
     "KIND_METADATA",
@@ -42,6 +43,7 @@ __all__ = [
     "KIND_HEALTH",
     "KIND_METRICS",
     "KIND_SPANS",
+    "KIND_PROFILE",
     "RPC_TOKEN_REQUEST",
     "RPC_RETRIEVE",
     "RPC_STORE",

@@ -60,10 +60,16 @@ class P3SSystem:
         self.config = config or P3SConfig()
         self.sim = Simulator()
         self.obs = self.config.obs
+        self.profiler = self.config.profiler
+        if self.profiler is not None and self.obs is None:
+            raise ValueError("P3SConfig(profiler=...) requires obs=Observability()")
         if self.obs is not None:
             # bind span timestamps to this simulator's clock and become
             # the process-wide sink for the instrumentation hooks
             self.obs.bind_clock(lambda: self.sim.now)
+            if self.profiler is not None:
+                self.obs.profiler = self.profiler
+                self.profiler.start()
             self.obs.install()
         self.network = Network(
             self.sim,
@@ -394,6 +400,8 @@ class P3SSystem:
 
     def close(self) -> None:
         """Release every shard's pool workers and store handles."""
+        if self.profiler is not None:
+            self.profiler.stop()
         for ds in self.ds_shards.values():
             ds.close_match_pool()
             ds.store.close()

@@ -263,19 +263,37 @@ async def serve_role(role: str, state: DeploymentState) -> None:
     storage at the stock capacity) is installed so ``KIND_METRICS`` /
     ``KIND_SPANS`` answer with real data instead of empty snapshots —
     and memory stays flat however long the service runs.
+
+    Continuous profiling rides along: unless ``P3S_PROFILE=off``, the
+    installed observability gets a background
+    :class:`~repro.obs.prof.sampler.StackSampler` (``P3S_PROFILE_HZ``,
+    default 19 — a deliberately gentle always-on rate) whose cumulative
+    profile the ``KIND_PROFILE`` RPC serves.
     """
+    import os
+
     from ..obs import Observability
     from ..obs import profile as obs_profile
     from ..obs.ring import DEFAULT_FLIGHT_RECORDER_CAPACITY
 
     if obs_profile.active() is None:
         Observability(span_capacity=DEFAULT_FLIGHT_RECORDER_CAPACITY).install()
+    obs = obs_profile.active()
+    profiler = None
+    if obs.profiler is None and os.environ.get("P3S_PROFILE", "wall") != "off":
+        from ..obs.prof import StackSampler
+
+        hz = float(os.environ.get("P3S_PROFILE_HZ", "19"))
+        profiler = obs.profiler = StackSampler(hz=hz, origin=f"{role}-wall")
+        profiler.start()
     service = build_service(role, state)
     bound_host, bound_port = await service.start(state.host, state.ports[role])
     print(f"{role}: listening on {bound_host}:{bound_port}", flush=True)
     try:
         await asyncio.Event().wait()
     finally:
+        if profiler is not None:
+            profiler.stop()
         await service.close()
 
 

@@ -20,6 +20,13 @@ same AEAD channels) as application traffic:
     (:mod:`repro.obs.ring`): finished spans leave the process exactly
     once, open spans wait for the next poll, and the cumulative
     ``dropped_spans`` count rides along so truncation is never silent.
+``KIND_PROFILE``
+    A snapshot of the process's profile sampler
+    (:mod:`repro.obs.prof`) as a profile dict — cumulative weighted
+    stacks tagged with an ``origin`` token unique to the sampler, so
+    the aggregator can replace rather than sum when four services of a
+    single-process deployment all hand over the same profile.  Empty
+    when no profiler is attached.
 
 :class:`TelemetryClient` is the polling side: one client endpoint that
 scrapes any set of services into a
@@ -39,7 +46,7 @@ import json
 import time
 from typing import Any, Iterable
 
-from ..core.messages import KIND_HEALTH, KIND_METRICS, KIND_SPANS
+from ..core.messages import KIND_HEALTH, KIND_METRICS, KIND_PROFILE, KIND_SPANS
 from ..obs import profile
 from ..obs.aggregate import TelemetryAggregator
 from ..obs.exposition import to_openmetrics
@@ -52,6 +59,7 @@ __all__ = [
     "service_health_snapshot",
     "service_metrics_snapshot",
     "drain_spans_snapshot",
+    "profile_snapshot",
     "snapshot_registry",
     "TelemetryClient",
 ]
@@ -214,8 +222,23 @@ def drain_spans_snapshot(service) -> dict[str, Any]:
     }
 
 
+def profile_snapshot(service) -> dict[str, Any]:
+    """The process profiler's cumulative profile, as a wire dict.
+
+    Non-destructive (unlike the span drain): the profile is cumulative
+    and carries its sampler's ``origin`` token, so the aggregator
+    replaces the previous snapshot from the same origin instead of
+    summing — repeated polls, or four services sharing one process-wide
+    sampler, never inflate the weights.
+    """
+    profiler = profile.active_profiler()
+    if profiler is None:
+        return {"service": service.endpoint.name, "profile": None}
+    return {"service": service.endpoint.name, "profile": profiler.profile().to_dict()}
+
+
 def install_telemetry(service) -> None:
-    """Register the three telemetry handlers on a service's endpoint."""
+    """Register the four telemetry handlers on a service's endpoint."""
     endpoint = service.endpoint
 
     def handle_health(src: str, message) -> tuple[str, int]:
@@ -238,9 +261,14 @@ def install_telemetry(service) -> None:
         body = json.dumps(drain_spans_snapshot(service), default=str)
         return body, len(body)
 
+    def handle_profile(src: str, message) -> tuple[str, int]:
+        body = json.dumps(profile_snapshot(service), default=str)
+        return body, len(body)
+
     endpoint.serve(KIND_HEALTH, handle_health)
     endpoint.serve(KIND_METRICS, handle_metrics)
     endpoint.serve(KIND_SPANS, handle_spans)
+    endpoint.serve(KIND_PROFILE, handle_profile)
 
 
 class TelemetryClient:
@@ -280,6 +308,12 @@ class TelemetryClient:
         )
         return json.loads(body)
 
+    async def profile(self, service: str) -> dict[str, Any]:
+        body = await self.endpoint.call(
+            service, KIND_PROFILE, None, timeout_s=self.call_timeout_s
+        )
+        return json.loads(body)
+
     async def scrape(
         self, aggregator: TelemetryAggregator | None = None
     ) -> TelemetryAggregator:
@@ -300,6 +334,9 @@ class TelemetryClient:
                 aggregator.add_spans(
                     service, drained.get("spans", []), drained.get("dropped_spans", 0)
                 )
+                profiled = await self.profile(service)
+                if profiled.get("profile") is not None:
+                    aggregator.add_profile(service, profiled["profile"])
             except TransportError:
                 aggregator.update_health(
                     service,

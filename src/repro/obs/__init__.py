@@ -28,6 +28,12 @@ Pieces:
   context header, slow/error traces always promoted);
 * :mod:`~repro.obs.slo` — :class:`SloEngine`, declarative SLOs with
   error-budget accounting and multi-window multi-burn-rate alerting;
+* :mod:`~repro.obs.prof` — continuous profiling: span-attributed stack
+  samplers (wall-clock and deterministic op-count modes), collapsed
+  stack / speedscope export, self-time diffs, and the crypto cost
+  ledger.  Imported on demand (``from repro.obs.prof import ...``), not
+  re-exported here — the ledger pulls in the crypto stack, which itself
+  imports this package's hooks;
 * :mod:`~repro.obs.observability` — the :class:`Observability` bundle
   experiments pass via ``P3SConfig(obs=...)``.
 """
@@ -43,7 +49,7 @@ from .export import (
 from .exposition import Exposition, parse_openmetrics, sanitize_metric_name, to_openmetrics
 from .metrics import Counter, Histogram, MetricsRegistry
 from .observability import Observability
-from .profile import active, instrument, record_op
+from .profile import active, active_profiler, instrument, record_op
 from .ring import DEFAULT_FLIGHT_RECORDER_CAPACITY, FlightRecorder
 from .sampling import TraceSampler
 from .slo import (
@@ -88,6 +94,7 @@ __all__ = [
     "record_op",
     "instrument",
     "active",
+    "active_profiler",
     "spans_to_jsonl",
     "write_spans_jsonl",
     "write_metrics_csv",

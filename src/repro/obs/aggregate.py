@@ -13,6 +13,12 @@ maintains
 * a **reassembled span store**: spans from every scrape deduplicated by
   ``(trace_id, span_id)``, from which cross-socket publish→deliver trees
   are put back together and end-to-end latencies computed;
+* a **merged profile**: the latest profile snapshot per *origin* token
+  (a sampler instance's identity), so a single-process deployment whose
+  four service endpoints all export the same process-wide sampler folds
+  to one copy of each stack while four real processes sum — the
+  hot-frames panel of ``repro live top`` and ``repro prof top`` read
+  this;
 * the **health table** behind ``repro live status`` / ``repro live top``.
 
 Nothing here imports asyncio or sockets — the aggregator is equally
@@ -50,6 +56,10 @@ class TelemetryAggregator:
         self.span_table_capacity = span_table_capacity
         self._health: dict[str, dict] = {}
         self._metrics: dict[str, dict] = {}
+        # profile-origin token -> (reporting services, latest profile dict);
+        # replacement per origin is the (service, stack) dedup the live
+        # tests pin: re-polling or multi-endpoint export never double-counts
+        self._profiles: dict[str, tuple[set[str], dict]] = {}
         # (trace_id, span_id) -> span dict; finished spans win over open
         # ones; LRU-ordered so the bound evicts the least recently seen
         self._spans: OrderedDict[tuple[int, int], dict] = OrderedDict()
@@ -93,6 +103,21 @@ class TelemetryAggregator:
                 self.span_evictions += 1
         if dropped:
             self.total_dropped_spans += dropped
+
+    def add_profile(self, service: str, profile: dict) -> None:
+        """Record ``service``'s latest profile snapshot.
+
+        Profiles are cumulative and keyed by their sampler's ``origin``
+        token: a later snapshot from the same origin *replaces* the
+        earlier one (same semantics as metrics), and two services
+        exporting the same process-wide sampler collapse to one entry —
+        dedup by (origin, stack).  Distinct origins (real multi-process
+        deployments) merge additively in :meth:`merged_profile`.
+        """
+        origin = profile.get("origin", service)
+        services, _ = self._profiles.get(origin, (set(), None))
+        services.add(service)
+        self._profiles[origin] = (services, dict(profile))
 
     # -- health ----------------------------------------------------------------
 
@@ -169,6 +194,51 @@ class TelemetryAggregator:
             service = dict(label_key).get(SERVICE_LABEL, "")
             view.inc(name, counter.value, component=service)
         return format_op_summary(view)
+
+    # -- profiles ---------------------------------------------------------------
+
+    def merged_profile(self):
+        """One deployment-wide :class:`~repro.obs.prof.model.Profile`.
+
+        Sums the latest snapshot of every distinct origin; snapshots
+        sharing an origin were already collapsed by
+        :meth:`add_profile`.  Empty profile when nothing was exported.
+        """
+        from .prof.model import Profile  # lazy: prof pulls in the crypto stack
+
+        merged = Profile(mode="wall", origin="merged")
+        modes: set[str] = set()
+        for origin, (services, snapshot) in sorted(self._profiles.items()):
+            part = Profile.from_dict(snapshot)
+            modes.add(part.mode)
+            merged.merge(part)
+            merged.meta[f"origin:{origin}"] = ",".join(sorted(services))
+        if len(modes) == 1:
+            merged.mode = modes.pop()
+        return merged
+
+    def profile_origins(self) -> dict[str, list[str]]:
+        """Which services reported each profile origin (dedup evidence)."""
+        return {
+            origin: sorted(services)
+            for origin, (services, _) in sorted(self._profiles.items())
+        }
+
+    def hot_frames(self, limit: int = 10) -> list[tuple[str, float, float]]:
+        """Top frames by self weight: ``(frame, self, fraction)`` rows.
+
+        Weighted by wall seconds for wall profiles, sample counts for
+        deterministic ones — whatever the merged mode implies.
+        """
+        profile = self.merged_profile()
+        if not profile.samples:
+            return []
+        weight_key = "wall_s" if profile.mode == "wall" else "count"
+        total = profile.total(weight_key) or 1.0
+        ranked = sorted(
+            profile.self_times(weight_key).items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return [(frame, value, value / total) for frame, value in ranked[:limit]]
 
     # -- span reassembly ---------------------------------------------------------
 
@@ -280,6 +350,13 @@ class TelemetryAggregator:
             "dropped_spans": self.total_dropped_spans,
             "span_count": len(self._spans),
             "span_evictions": self.span_evictions,
+            "profile": {
+                "origins": self.profile_origins(),
+                "hot_frames": [
+                    {"frame": frame, "self": value, "fraction": fraction}
+                    for frame, value, fraction in self.hot_frames()
+                ],
+            },
             "observability": {
                 service: self.service_observability(service)
                 for service in sorted(self._metrics)

@@ -54,6 +54,15 @@ class Observability:
     time reaches the threshold into ``tracer.slow_spans``.  ``sampler``
     (a :class:`~repro.obs.sampling.TraceSampler`) enables deterministic
     tail-based trace sampling; ``None`` keeps every trace.
+
+    ``profiler`` attaches a profile sampler
+    (:class:`~repro.obs.prof.sampler.StackSampler` or
+    :class:`~repro.obs.prof.sampler.DeterministicSampler`): while this
+    instance is the active hook sink, every counted op is also offered
+    to ``profiler.on_op`` and the live telemetry plane exposes
+    ``profiler.profile()`` over the ``KIND_PROFILE`` RPC.  ``None`` (the
+    default) keeps profiling off — op hooks pay one extra attribute
+    load only when an instance is installed at all.
     """
 
     def __init__(
@@ -62,6 +71,7 @@ class Observability:
         span_capacity: int | None = None,
         slow_span_threshold_s: float | None = None,
         sampler: TraceSampler | None = None,
+        profiler: object | None = None,
     ):
         self.tracer = Tracer(
             clock,
@@ -70,6 +80,7 @@ class Observability:
             sampler=sampler,
         )
         self.metrics = MetricsRegistry()
+        self.profiler = profiler
 
     @property
     def sampler(self) -> TraceSampler | None:

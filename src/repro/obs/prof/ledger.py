@@ -1,0 +1,118 @@
+"""The crypto cost ledger: modeled vs measured self-time per component.
+
+PR 1's analytic models predict where the cycles go (count × calibrated
+per-op cost); the ``op.*`` counters say how many of each op actually
+ran, and the ``op.<op>.wall_s`` histograms say what the instrumented
+ones actually cost.  The ledger joins all three: for every (component,
+op) pair it reports the op count, the *modeled* self time
+(count × :class:`~repro.perf.calibrate.CalibrationResult` per-op cost)
+and — where an ``@instrument`` wall histogram exists — the *measured*
+self time, with the drift between them.  Sustained drift means the
+calibration constants no longer describe the prototype (cache effects,
+a regressed hot path, a new parameter set) and `repro perf gate`
+territory begins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import MetricsRegistry
+from ...perf.calibrate import CalibrationResult
+
+__all__ = ["LedgerRow", "cost_ledger", "format_ledger"]
+
+# op counter name → CalibrationResult field carrying its per-op cost.
+MODELED_OPS: dict[str, str] = {
+    "pairing": "pairing_s",
+    "hve.encrypt": "pbe_encrypt_s",
+    "hve.match": "pbe_match_s",
+    "hve.token_gen": "pbe_token_gen_s",
+    "abe.encrypt": "cpabe_encrypt_s",
+    "abe.decrypt": "cpabe_decrypt_s",
+}
+
+
+@dataclass
+class LedgerRow:
+    """One (component, op) line of the cost ledger."""
+
+    component: str
+    op: str
+    count: float
+    modeled_s: float
+    measured_s: float | None = None  # None: op has no wall histogram
+
+    @property
+    def drift(self) -> float | None:
+        """(measured − modeled) / modeled; ``None`` when unmeasurable."""
+        if self.measured_s is None or self.modeled_s <= 0:
+            return None
+        return (self.measured_s - self.modeled_s) / self.modeled_s
+
+
+def cost_ledger(
+    metrics: MetricsRegistry, calibration: CalibrationResult
+) -> list[LedgerRow]:
+    """Join op counters with calibrated costs, per component.
+
+    Rows are sorted by descending modeled time — the ledger reads as
+    "where the model says the cycles went", with the measured column
+    showing where they actually went.
+    """
+    rows: list[LedgerRow] = []
+    for op, cost_field in MODELED_OPS.items():
+        per_op_s = getattr(calibration, cost_field)
+        by_component = metrics.counters_by_label("op." + op, "component")
+        for component, count in by_component.items():
+            if count <= 0:
+                continue
+            histogram = metrics.histogram(
+                "op." + op + ".wall_s", component=component
+            )
+            rows.append(
+                LedgerRow(
+                    component=component or "unattributed",
+                    op=op,
+                    count=count,
+                    modeled_s=count * per_op_s,
+                    measured_s=histogram.total if histogram is not None else None,
+                )
+            )
+    rows.sort(key=lambda row: (-row.modeled_s, row.component, row.op))
+    return rows
+
+
+def format_ledger(rows: list[LedgerRow]) -> str:
+    from ...perf.report import format_table  # local import: avoid a cycle
+
+    if not rows:
+        return "cost ledger: no modeled ops recorded (is observability on?)"
+    table_rows = []
+    total_modeled = 0.0
+    total_measured = 0.0
+    for row in rows:
+        total_modeled += row.modeled_s
+        if row.measured_s is not None:
+            total_measured += row.measured_s
+        drift = row.drift
+        table_rows.append(
+            [
+                row.component,
+                row.op,
+                f"{row.count:.0f}",
+                f"{row.modeled_s * 1000:.1f}ms",
+                "-" if row.measured_s is None else f"{row.measured_s * 1000:.1f}ms",
+                "-" if drift is None else f"{drift:+.1%}",
+            ]
+        )
+    out = format_table(
+        ["component", "op", "count", "modeled", "measured", "drift"],
+        table_rows,
+        title="crypto cost ledger (modeled = count x calibrated per-op cost)",
+    )
+    return (
+        out
+        + f"\ntotals: modeled {total_modeled * 1000:.1f}ms, "
+        + f"measured (instrumented ops) {total_measured * 1000:.1f}ms"
+    )

@@ -1,0 +1,354 @@
+"""The two profile samplers: hz-driven wall clock and op-count driven.
+
+:class:`StackSampler` is the production shape — a daemon thread wakes
+``hz`` times a second, captures the Python stacks via
+``sys._current_frames()``, and attributes each sample with the
+component and span name of the tracer's innermost active span.  Memory
+is bounded twice over: a fixed-capacity ring of raw (timestamped,
+trace-linked) samples with an eviction counter, and a capped aggregate
+stack table that folds further stacks into the ``<overflow>`` bucket so
+total weight is preserved while cardinality stays flat.
+
+:class:`DeterministicSampler` is the simulator shape: no threads, no
+clocks.  The :func:`repro.obs.profile.record_op` /
+``@instrument`` hooks call :meth:`on_op` for every counted crypto op and
+every ``every``-th op takes a sample whose stack is
+``(component, span, span, ..., op.<name>)``.  Because the simulator's op
+sequence is a pure function of the workload seed, two runs with the same
+seed produce byte-identical folded output — the replayable contract the
+profile tests pin.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import sys
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from .model import OVERFLOW_FRAME, Profile, Stack
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability import Observability
+
+__all__ = ["StackSampler", "DeterministicSampler"]
+
+# Stack frames deeper than this are truncated (root side kept): protects
+# the table from pathological recursion blowing up stack cardinality.
+MAX_STACK_DEPTH = 64
+
+_origin_counter = itertools.count(1)
+
+
+def _new_origin(kind: str) -> str:
+    """A token unique to one sampler instance in one process."""
+    return f"{kind}-{os.getpid()}-{next(_origin_counter)}"
+
+
+class _StackTable:
+    """Bounded stack → weight aggregate shared by both samplers.
+
+    Once ``max_stacks`` distinct stacks exist, further *new* stacks fold
+    into the single :data:`OVERFLOW_FRAME` bucket — aggregate weight is
+    never dropped, only its resolution, and the fold is counted.
+    """
+
+    def __init__(self, max_stacks: int):
+        self.max_stacks = max_stacks
+        self.samples: dict[Stack, list[float]] = {}  # [count, wall_s, cpu_s]
+        self.overflowed = 0
+
+    def add(self, stack: Stack, count: int, wall_s: float, cpu_s: float) -> None:
+        entry = self.samples.get(stack)
+        if entry is None:
+            if len(self.samples) >= self.max_stacks and stack != (OVERFLOW_FRAME,):
+                self.overflowed += count
+                stack = (OVERFLOW_FRAME,)
+                entry = self.samples.get(stack)
+            if entry is None:
+                entry = self.samples[stack] = [0, 0.0, 0.0]
+        entry[0] += count
+        entry[1] += wall_s
+        entry[2] += cpu_s
+
+    def snapshot(self, profile: Profile) -> Profile:
+        for stack, (count, wall_s, cpu_s) in self.samples.items():
+            profile.add(stack, count=int(count), wall_s=wall_s, cpu_s=cpu_s)
+        return profile
+
+
+def _frame_stack(frame: Any) -> list[str]:
+    """Root-first ``module.function`` names for one thread's stack."""
+    names: list[str] = []
+    while frame is not None and len(names) < MAX_STACK_DEPTH:
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        names.append(f"{module}.{code.co_name}")
+        frame = frame.f_back
+    names.reverse()
+    return names
+
+
+class StackSampler:
+    """Background wall+CPU sampler over ``sys._current_frames()``.
+
+    Every tick captures the target thread stacks, prefixes the thread
+    that holds the tracer's span stack with ``(component, span-name)``
+    from the innermost active span (``unattributed`` outside any span),
+    and charges the tick's wall/CPU deltas to the sampled stacks.
+
+    ``ring_capacity`` bounds the raw-sample ring (oldest evicted, with a
+    counter); ``max_stacks`` bounds the aggregate table (overflow folds
+    to :data:`OVERFLOW_FRAME`).  ``obs`` pins which observability
+    instance supplies span attribution; by default the process-global
+    active one is read at every tick.
+    """
+
+    mode = "wall"
+
+    def __init__(
+        self,
+        hz: float = 97.0,
+        ring_capacity: int = 2048,
+        max_stacks: int = 4096,
+        all_threads: bool = False,
+        obs: "Observability | None" = None,
+        origin: str | None = None,
+    ):
+        if hz <= 0:
+            raise ValueError("hz must be positive")
+        self.hz = hz
+        self.all_threads = all_threads
+        self.origin = origin or _new_origin("wall")
+        self._obs = obs
+        self._lock = threading.Lock()
+        self._table = _StackTable(max_stacks)
+        self._ring: deque[dict[str, Any]] = deque()
+        self._ring_capacity = ring_capacity
+        self.ring_evicted = 0
+        self.ticks = 0
+        self.self_s = 0.0  # sampler's own wall overhead, accounted
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._main_ident = threading.main_thread().ident
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "StackSampler":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-prof-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "StackSampler":
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+            self._thread = None
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "StackSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # -- hook surface (uniform with DeterministicSampler) -----------------------
+
+    def on_op(self, op: str, count: int = 1) -> None:
+        """Op hook: the wall sampler is time-driven, so this is a no-op."""
+
+    # -- the sampling loop --------------------------------------------------------
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        last_wall = time.perf_counter()
+        last_cpu = time.process_time()
+        while not self._stop.wait(interval):
+            tick_start = time.perf_counter()
+            cpu_now = time.process_time()
+            wall_dt = tick_start - last_wall
+            cpu_dt = cpu_now - last_cpu
+            last_wall, last_cpu = tick_start, cpu_now
+            try:
+                self._sample_once(wall_dt, cpu_dt)
+            except Exception:  # pragma: no cover - never kill the host
+                pass
+            self.self_s += time.perf_counter() - tick_start
+
+    def _attribution(self):
+        """(stack prefix, innermost active span) for the main thread."""
+        from .. import profile as hooks  # local: hooks module imports us
+
+        obs = self._obs or hooks.active()
+        span = obs.tracer.current_span() if obs is not None else None
+        if span is not None:
+            return (span.component, span.name), span
+        return ("unattributed",), None
+
+    def _sample_once(self, wall_dt: float, cpu_dt: float) -> None:
+        frames = sys._current_frames()
+        me = threading.get_ident()
+        targets: list[tuple[str, int, Any]] = []
+        threads = {t.ident: t.name for t in threading.enumerate()}
+        for ident, frame in frames.items():
+            if ident == me:
+                continue
+            if not self.all_threads and ident != self._main_ident:
+                continue
+            targets.append((threads.get(ident, f"tid-{ident}"), ident, frame))
+        if not targets:
+            return
+        prefix, span = self._attribution()
+        wall_share = wall_dt / len(targets)
+        cpu_share = cpu_dt / len(targets)
+        with self._lock:
+            self.ticks += 1
+            for name, ident, frame in targets:
+                pystack = _frame_stack(frame)
+                if ident == self._main_ident:
+                    stack = prefix + tuple(pystack)
+                else:
+                    stack = (f"thread:{name}",) + tuple(pystack)
+                stack = stack[:MAX_STACK_DEPTH]
+                self._table.add(stack, 1, wall_share, cpu_share)
+                if len(self._ring) >= self._ring_capacity:
+                    self._ring.popleft()
+                    self.ring_evicted += 1
+                self._ring.append(
+                    {
+                        "wall": time.perf_counter(),
+                        "thread": name,
+                        "stack": stack,
+                        "trace_id": span.trace_id if span is not None else None,
+                        "span_id": span.span_id if span is not None else None,
+                        "component": prefix[0],
+                    }
+                )
+
+    # -- output ------------------------------------------------------------------
+
+    def recent_samples(self) -> list[dict[str, Any]]:
+        """The raw bounded ring, oldest first (trace-linked samples)."""
+        with self._lock:
+            return list(self._ring)
+
+    def profile(self) -> Profile:
+        """Snapshot the aggregate table as a :class:`Profile`."""
+        with self._lock:
+            return self._table.snapshot(
+                Profile(
+                    mode=self.mode,
+                    origin=self.origin,
+                    meta={
+                        "hz": self.hz,
+                        "ticks": self.ticks,
+                        "ring_evicted": self.ring_evicted,
+                        "overflowed": self._table.overflowed,
+                        "self_s": round(self.self_s, 6),
+                    },
+                )
+            )
+
+
+class DeterministicSampler:
+    """Op-count-triggered sampler for seed-replayable simulator profiles.
+
+    Called (via the :mod:`repro.obs.profile` hooks) for every counted
+    op; every ``every``-th op takes one sample.  The stack is built from
+    the tracer's synchronous span stack — ``(component, span, span, ...,
+    op.<name>)`` — so the profile folds exactly like the wall sampler's,
+    but with no dependence on timers or thread scheduling: the same
+    workload seed replays to byte-identical folded output.
+
+    ``seed`` is recorded in the profile meta so a recording names the
+    workload it replays; the sampler itself is seed-free (the op
+    sequence carries all the determinism).
+    """
+
+    mode = "det"
+
+    def __init__(
+        self,
+        every: int = 64,
+        seed: int | None = None,
+        max_stacks: int = 4096,
+        obs: "Observability | None" = None,
+        origin: str | None = None,
+    ):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+        self.seed = seed
+        self.origin = origin or _new_origin("det")
+        self._obs = obs
+        self._table = _StackTable(max_stacks)
+        self.ops_seen = 0
+        self.samples_taken = 0
+
+    # -- lifecycle (no-ops: nothing to start) -----------------------------------
+
+    def start(self) -> "DeterministicSampler":
+        return self
+
+    def stop(self) -> "DeterministicSampler":
+        return self
+
+    @property
+    def running(self) -> bool:
+        return True
+
+    def __enter__(self) -> "DeterministicSampler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    # -- the op hook --------------------------------------------------------------
+
+    def on_op(self, op: str, count: int = 1) -> None:
+        """Advance the op counter; sample at every ``every``-th op."""
+        before = self.ops_seen
+        self.ops_seen = before + count
+        fires = self.ops_seen // self.every - before // self.every
+        if fires <= 0:
+            return
+        from .. import profile as hooks  # local: hooks module imports us
+
+        obs = self._obs or hooks.active()
+        if obs is not None and obs.tracer._stack:
+            names = tuple(span.name for span in obs.tracer._stack)
+            component = obs.tracer._stack[-1].component
+        else:
+            names = ()
+            component = "unattributed"
+        stack = ((component,) + names + ("op." + op,))[:MAX_STACK_DEPTH]
+        self._table.add(stack, fires, 0.0, 0.0)
+        self.samples_taken += fires
+
+    # -- output ------------------------------------------------------------------
+
+    def profile(self) -> Profile:
+        meta: dict[str, Any] = {
+            "every": self.every,
+            "ops_seen": self.ops_seen,
+            "overflowed": self._table.overflowed,
+        }
+        if self.seed is not None:
+            meta["seed"] = self.seed
+        return self._table.snapshot(
+            Profile(mode=self.mode, origin=self.origin, meta=meta)
+        )

@@ -35,6 +35,7 @@ __all__ = [
     "activate",
     "deactivate",
     "active",
+    "active_profiler",
     "record_op",
     "observe",
     "instrument",
@@ -77,13 +78,25 @@ def record_op(op: str, count: int = 1) -> None:
     """Count one (or ``count``) crypto/protocol operations.
 
     The op is attributed to the component of the innermost active span
-    (:data:`UNATTRIBUTED` when called outside any span scope).
+    (:data:`UNATTRIBUTED` when called outside any span scope).  When the
+    active instance carries a profile sampler, the op is also offered to
+    it — the deterministic sampler turns every ``every``-th op into a
+    profile sample.
     """
     obs = _active
     if obs is None:
         return
     component = obs.tracer.current_component() or UNATTRIBUTED
     obs.metrics.inc("op." + op, count, component=component)
+    profiler = obs.profiler
+    if profiler is not None:
+        profiler.on_op(op, count)
+
+
+def active_profiler():
+    """The active instance's profile sampler, or ``None``."""
+    obs = _active
+    return None if obs is None else obs.profiler
 
 
 def observe(name: str, value: float, **labels: object) -> None:
@@ -118,6 +131,9 @@ def instrument(op: str, component: str | None = None) -> Callable:
             finally:
                 obs.metrics.inc(metric, 1, component=who)
                 obs.metrics.observe(wall_metric, time.perf_counter() - started, component=who)
+                profiler = obs.profiler
+                if profiler is not None:
+                    profiler.on_op(op, 1)
 
         return wrapper
 

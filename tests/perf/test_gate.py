@@ -1,0 +1,169 @@
+"""The versioned bench schema, the legacy BENCH_pr*.json normalizers,
+and the perf-regression gate's pass/fail behaviour."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    load_bench_file,
+    load_history,
+    write_bench,
+)
+from repro.perf.gate import baseline_checks, format_gate, run_gate, smoke_checks
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+class TestBenchSchema:
+    def test_v1_document_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        records = [
+            BenchRecord("x.speedup", 2.5, "ratio", floor=1.5),
+            BenchRecord(
+                "x.latency_ms", 12.0, "ms", direction="lower", tolerance=0.2, seed=7
+            ),
+        ]
+        document = write_bench(str(path), "x", records, workload={"n": 8}, seed=7)
+        assert document["bench_schema"] == BENCH_SCHEMA_VERSION
+        assert document["env"]["python"]
+        loaded = {record.name: record for record in load_bench_file(str(path))}
+        assert loaded["x.speedup"].floor == 1.5
+        assert loaded["x.speedup"].source == "BENCH_x.json"
+        assert loaded["x.latency_ms"].direction == "lower"
+        assert loaded["x.latency_ms"].tolerance == 0.2
+        assert loaded["x.latency_ms"].seed == 7
+
+    def test_tolerance_defaults_by_unit(self):
+        assert BenchRecord("a", 1.0, "ratio").effective_tolerance() == 0.40
+        assert BenchRecord("a", 1.0, "fraction").effective_tolerance() == 0.10
+        assert BenchRecord("a", 1.0, "furlongs").effective_tolerance() == 0.75
+        assert BenchRecord("a", 1.0, "ms", tolerance=0.05).effective_tolerance() == 0.05
+
+    def test_unknown_schema_version_raises(self, tmp_path):
+        path = tmp_path / "BENCH_future.json"
+        path.write_text('{"bench_schema": 99, "records": []}')
+        with pytest.raises(ValueError, match="bench_schema 99"):
+            load_bench_file(str(path))
+
+    def test_unrecognized_shape_raises_not_vacuous(self, tmp_path):
+        path = tmp_path / "BENCH_mystery.json"
+        path.write_text('{"something": 1}')
+        with pytest.raises(ValueError, match="unrecognized"):
+            load_bench_file(str(path))
+
+
+class TestLegacyNormalizers:
+    """Every committed PR-era BENCH file must normalize into records."""
+
+    EXPECTED = {
+        "BENCH_pr2.json": {"match_fanout.precompute_speedup", "match_fanout.pool4_speedup"},
+        "BENCH_pr3.json": {"live_substrate.rpc_echo_p95_ms", "live_substrate.live_over_sim"},
+        "BENCH_pr4.json": {"telemetry.scrape_p95_ms", "telemetry.flight_recorder_overhead_pct"},
+        "BENCH_pr6.json": {"store.wal_fsync_records_per_s"},
+        "BENCH_pr8.json": {"cluster.speedup_ds2"},
+        "BENCH_pr9.json": {"obs_overhead.always_recovery", "obs_overhead.sampled_recovery"},
+    }
+
+    def test_every_committed_legacy_file_normalizes(self):
+        for filename, expected in self.EXPECTED.items():
+            path = os.path.join(REPO_ROOT, filename)
+            names = {record.name for record in load_bench_file(path)}
+            assert expected <= names, filename
+
+    def test_history_merges_all_files_and_honors_floors(self):
+        history = load_history(REPO_ROOT)
+        # one uniform stream across six legacy shapes + the v1 pr10 file
+        for expected in self.EXPECTED.values():
+            assert expected <= set(history)
+        assert "prof.det_recovery" in history  # the v1-schema newcomer
+        assert history["prof.det_recovery"].source == "BENCH_pr10.json"
+        for record in history.values():
+            if record.floor is not None:
+                assert record.value >= record.floor, record.name
+
+    def test_later_files_supersede_earlier_records(self, tmp_path):
+        write_bench(
+            str(tmp_path / "BENCH_a.json"), "a", [BenchRecord("shared.metric", 1.0)]
+        )
+        write_bench(
+            str(tmp_path / "BENCH_b.json"), "b", [BenchRecord("shared.metric", 2.0)]
+        )
+        history = load_history(str(tmp_path))
+        assert history["shared.metric"].value == 2.0
+        assert history["shared.metric"].source == "BENCH_b.json"
+
+
+class TestGate:
+    def test_smoke_passes_on_the_committed_history(self):
+        report = run_gate(root=REPO_ROOT, smoke=True)
+        assert report.checks, "committed history must produce checks"
+        assert report.passed, [check.detail for check in report.failures]
+        assert "perf gate: PASS" in format_gate(report)
+
+    def test_smoke_fails_on_synthetically_regressed_history(self):
+        history = {
+            "match_fanout.precompute_speedup": BenchRecord(
+                "match_fanout.precompute_speedup", 1.1, "ratio", floor=1.3
+            )
+        }
+        report = run_gate(history=history, fresh={})
+        assert not report.passed
+        (failure,) = report.failures
+        assert failure.kind == "floor"
+        assert "FAIL" in format_gate(report)
+
+    def test_fresh_regression_beyond_tolerance_fails(self):
+        history = {
+            "match_fanout.precompute_speedup": BenchRecord(
+                "match_fanout.precompute_speedup", 10.0, "ratio", floor=1.3
+            )
+        }
+        # within the 40% ratio band: passes
+        good = run_gate(history=history, fresh={"match_fanout.precompute_speedup": 6.5})
+        assert good.passed
+        # beyond it: the baseline check fails (the floor still holds)
+        bad = run_gate(history=history, fresh={"match_fanout.precompute_speedup": 4.0})
+        assert not bad.passed
+        assert [check.kind for check in bad.failures] == ["baseline"]
+
+    def test_lower_is_better_direction_mirrors(self):
+        history = {
+            "x.latency_ms": BenchRecord(
+                "x.latency_ms", 10.0, "ms", direction="lower", tolerance=0.5
+            )
+        }
+        assert run_gate(history=history, fresh={"x.latency_ms": 14.0}).passed
+        assert not run_gate(history=history, fresh={"x.latency_ms": 16.0}).passed
+
+    def test_fresh_ceiling_checks_apply(self):
+        history = {
+            "x.overhead": BenchRecord(
+                "x.overhead", 10.0, "count", direction="lower", ceiling=80.0
+            )
+        }
+        report = run_gate(history=history, fresh={"x.overhead": 90.0})
+        assert not report.passed
+        assert any(check.kind == "ceiling" for check in report.failures)
+
+    def test_unknown_fresh_metric_is_informational(self):
+        report = run_gate(history={}, fresh={"new.metric": 1.23})
+        assert report.passed
+        (check,) = report.checks
+        assert "informational" in check.detail
+
+    def test_fresh_probes_pass_against_committed_history(self):
+        # the acceptance run: re-measure the cheap machine-independent
+        # ratios on this tree against the committed baselines
+        report = run_gate(root=REPO_ROOT, only=["prof"])
+        assert report.passed, [check.detail for check in report.failures]
+        names = {check.name for check in report.checks}
+        assert "prof.det_recovery" in names
+
+    def test_smoke_report_mentions_sources(self):
+        report = run_gate(root=REPO_ROOT, smoke=True)
+        assert any("BENCH_pr2.json" in check.detail for check in report.checks)
